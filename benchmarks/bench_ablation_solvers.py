@@ -1,0 +1,88 @@
+"""Ablation: P3 engines compared (quality and latency).
+
+DESIGN.md calls out the engine choice as a design decision: the exact
+vectorized enumeration (our default for homogeneous fleets), the paper's
+GSD sampler, and deterministic coordinate descent all solve the same
+one-slot problem.  This bench scores all three on a spread of paper-scale
+slots and times them, quantifying what the enumeration fast path buys and
+how close GSD gets at the paper's 500-iteration setting.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.solvers import (
+    CoordinateDescentSolver,
+    GSDSolver,
+    HomogeneousEnumerationSolver,
+)
+
+SLOTS = [100, 1500, 4000, 5100, 7300]  # spread across the year
+
+
+def test_ablation_solver_engines(benchmark, publish, fiu_scenario):
+    sc = fiu_scenario
+
+    def problem_at(t, q):
+        obs = sc.environment.observation(t)
+        return sc.model.slot_problem(
+            arrival_rate=obs.arrival_rate, onsite=obs.onsite, price=obs.price, q=q
+        )
+
+    def run():
+        engines = {
+            "enumeration (exact)": HomogeneousEnumerationSolver(),
+            "coordinate descent": CoordinateDescentSolver(),
+            "GSD 500 iters": None,  # built per problem (auto delta)
+            "GSD 3000 iters": None,
+        }
+        stats = {name: {"gap": [], "ms": []} for name in engines}
+        for t in SLOTS:
+            for q in (0.0, 2000.0):
+                problem = problem_at(t, q)
+                exact = HomogeneousEnumerationSolver().solve(problem).objective
+                delta = GSDSolver.auto_delta(problem, greediness=1000.0)
+                engines["GSD 500 iters"] = GSDSolver(
+                    iterations=500, delta=delta, rng=np.random.default_rng(t)
+                )
+                engines["GSD 3000 iters"] = GSDSolver(
+                    iterations=3000, delta=delta, rng=np.random.default_rng(t)
+                )
+                for name, engine in engines.items():
+                    t0 = time.perf_counter()
+                    sol = engine.solve(problem)
+                    stats[name]["ms"].append(1e3 * (time.perf_counter() - t0))
+                    stats[name]["gap"].append(
+                        sol.objective / exact - 1.0 if exact > 0 else 0.0
+                    )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "engine": name,
+            "mean gap vs exact": float(np.mean(s["gap"])),
+            "max gap": float(np.max(s["gap"])),
+            "median ms/slot": float(np.median(s["ms"])),
+        }
+        for name, s in stats.items()
+    ]
+    table = render_table(
+        rows, title="Ablation: P3 engine quality/latency on 10 paper-scale slots"
+    )
+    publish("ablation_solvers", table)
+
+    by_name = {r["engine"]: r for r in rows}
+    assert by_name["enumeration (exact)"]["max gap"] <= 1e-9
+    # Longer GSD chains close the gap.
+    assert (
+        by_name["GSD 3000 iters"]["mean gap vs exact"]
+        <= by_name["GSD 500 iters"]["mean gap vs exact"] + 1e-12
+    )
+    # The vectorized engine is the cheapest by a wide margin.
+    assert (
+        by_name["enumeration (exact)"]["median ms/slot"]
+        < by_name["GSD 500 iters"]["median ms/slot"]
+    )

@@ -1,0 +1,60 @@
+"""Fig. 1: the workload traces.
+
+Fig. 1(a) shows the normalized FIU trace for July 2012 (with the
+late-July surge); Fig. 1(b) shows the normalized MSR week.  The bench
+regenerates both, reports the series as monthly / daily profile rows, and
+times trace generation.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.traces import HOURS_PER_YEAR, fiu_workload, msr_week
+
+def test_fig1a_fiu_trace(benchmark, publish):
+    trace = benchmark(lambda: fiu_workload(HOURS_PER_YEAR, peak=1.0, seed=2012))
+
+    daily = trace.values[: 364 * 24].reshape(-1, 24).mean(axis=1)
+    monthly_edges = np.cumsum([0, 31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31])
+    months = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+        "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ]
+    rows = [
+        {
+            "month": months[m],
+            "mean (norm.)": float(daily[monthly_edges[m] : min(monthly_edges[m + 1], 364)].mean()),
+            "peak (norm.)": float(
+                trace.values[monthly_edges[m] * 24 : min(monthly_edges[m + 1], 365) * 24].max()
+            ),
+        }
+        for m in range(12)
+    ]
+    table = render_table(
+        rows, title="Fig. 1(a): FIU-style workload, monthly summary (normalized)"
+    )
+    # The paper's distinguishing feature: the late-July surge carries the
+    # annual peak.
+    july_peak = rows[6]["peak (norm.)"]
+    assert july_peak == max(r["peak (norm.)"] for r in rows)
+    publish("fig1a_fiu_trace", table)
+    benchmark.extra_info["july_peak"] = july_peak
+
+
+def test_fig1b_msr_week(benchmark, publish):
+    trace = benchmark(lambda: msr_week(seed=2007))
+    by_day = trace.values.reshape(7, 24)
+    rows = [
+        {
+            "day": d,
+            "mean (norm.)": float(by_day[d].mean()),
+            "peak (norm.)": float(by_day[d].max()),
+            "overnight burst": float(by_day[d][2:5].max()),
+        }
+        for d in range(7)
+    ]
+    table = render_table(rows, title="Fig. 1(b): MSR-style week (normalized)")
+    publish("fig1b_msr_week", table)
+    # Weekend days (generator days 2-3) are the quiet ones.
+    means = [r["mean (norm.)"] for r in rows]
+    assert min(means[2], means[3]) <= min(means[0], means[1], means[4])

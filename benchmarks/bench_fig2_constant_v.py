@@ -1,0 +1,54 @@
+"""Fig. 2(a,b): impact of a constant V on average cost and carbon deficit.
+
+Sweeps V over the paper-scale year.  Expected shape (paper section 5.2.1):
+cost decreases in V toward the carbon-unaware asymptote; the carbon deficit
+increases in V; a knee value V* satisfies neutrality at 92% of the unaware
+electricity usage with close-to-minimum cost.
+"""
+
+from repro.analysis import render_table, sweep_constant_v
+from repro.baselines import CarbonUnaware
+from repro.sim import simulate
+
+V_GRID = [10.0, 30.0, 60.0, 120.0, 240.0, 1000.0, 1e4]
+
+
+def test_fig2ab_constant_v(benchmark, publish, fiu_scenario):
+    sc = fiu_scenario
+
+    def run():
+        rows = sweep_constant_v(sc, V_GRID)
+        unaware = simulate(sc.model, CarbonUnaware(sc.model), sc.environment)
+        return rows, unaware
+
+    rows, unaware = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for row in rows:
+        row["cost_vs_unaware"] = row["avg_cost"] / unaware.average_cost
+    rows.append(
+        {
+            "V": float("inf"),
+            "avg_cost": unaware.average_cost,
+            "avg_deficit": unaware.average_deficit(sc.environment.portfolio, sc.alpha),
+            "brown": unaware.total_brown,
+            "brown_fraction": unaware.total_brown / sc.unaware_brown,
+            "neutral": False,
+            "cost_vs_unaware": 1.0,
+        }
+    )
+    table = render_table(
+        rows,
+        title="Fig. 2(a,b): average hourly cost and carbon deficit vs constant V "
+        "(paper-scale year, budget = 92% of carbon-unaware usage)",
+    )
+    publish("fig2ab_constant_v", table)
+
+    # Shape assertions: monotone trade-off with the unaware asymptote.
+    costs = [r["avg_cost"] for r in rows]
+    deficits = [r["avg_deficit"] for r in rows[:-1]]
+    assert costs == sorted(costs, reverse=True)
+    assert deficits == sorted(deficits)
+    assert rows[-2]["avg_cost"] <= 1.01 * unaware.average_cost  # asymptote
+    assert any(r["neutral"] for r in rows[:-1])  # a neutral knee exists
+    benchmark.extra_info["cost_at_smallest_v"] = costs[0]
+    benchmark.extra_info["unaware_cost"] = unaware.average_cost

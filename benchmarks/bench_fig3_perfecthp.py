@@ -1,0 +1,44 @@
+"""Fig. 3: COCA vs the prediction-based PerfectHP heuristic.
+
+The paper reports COCA saves >25% in average cost over one year while
+satisfying the desired neutrality better.  Our reproduction preserves the
+*direction* on both axes -- COCA is strictly cheaper at its neutral V and
+tracks the carbon budget more accurately -- with a cost gap of roughly
+10-20% under our calibration (see EXPERIMENTS.md for the discussion of the
+delay-weight normalization this gap is sensitive to).
+"""
+
+from repro.analysis import compare_with_perfecthp, render_table, time_bucket_rows
+
+
+def test_fig3_coca_vs_perfecthp(benchmark, publish, fiu_scenario, fiu_v_star):
+    sc = fiu_scenario
+
+    cmp = benchmark.pedantic(
+        lambda: compare_with_perfecthp(sc, fiu_v_star), rounds=1, iterations=1
+    )
+    pf = sc.environment.portfolio
+    coca, hp = cmp["coca"], cmp["perfecthp"]
+
+    rows = time_bucket_rows([coca, hp], pf, alpha=sc.alpha, buckets=12)
+    table = render_table(
+        rows,
+        title=(
+            "Fig. 3: running-average hourly cost and carbon deficit, "
+            f"COCA (V*={fiu_v_star:.3g}) vs PerfectHP\n"
+            f"cost saving: {100 * cmp['cost_saving']:.1f}%  |  "
+            f"final deficits: COCA {cmp['coca_deficit']:.4g}, "
+            f"PerfectHP {cmp['perfecthp_deficit']:.4g} MWh/h"
+        ),
+    )
+    publish("fig3_coca_vs_perfecthp", table)
+
+    # Shape: COCA cheaper over the year and at least as neutral.
+    assert cmp["cost_saving"] > 0.05, "expected a clear COCA cost advantage"
+    assert coca.ledger(pf, sc.alpha).is_neutral()
+    assert abs(coca.average_deficit(pf, sc.alpha)) <= abs(
+        cmp["perfecthp_deficit"]
+    ) + 1e-9
+    benchmark.extra_info["cost_saving"] = cmp["cost_saving"]
+    benchmark.extra_info["coca_cost"] = coca.average_cost
+    benchmark.extra_info["perfecthp_cost"] = hp.average_cost

@@ -1,0 +1,34 @@
+"""Fig. 5(c): sensitivity to workload overestimation.
+
+The controller provisions for ``phi * lambda(t)`` (phi up to 1.2, the
+paper's 20% which prior work deems sufficient for hour-ahead prediction)
+while real arrivals stay at ``lambda(t)``; per the paper's protocol V is
+re-chosen so neutrality holds at every point.  Expected shape: the total
+cost rises only mildly (paper: <2.5% at 20% -- overprovisioning wastes
+electricity but buys back delay), and no load is ever dropped.
+"""
+
+from repro.analysis import overestimation_sweep, render_table
+
+PHIS = [1.0, 1.05, 1.10, 1.15, 1.20]
+
+
+def test_fig5c_overestimation(benchmark, publish, fiu_scenario, fiu_v_star):
+    rows = benchmark.pedantic(
+        lambda: overestimation_sweep(fiu_scenario, PHIS, v=fiu_v_star),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        title="Fig. 5(c): total-cost impact of workload overestimation "
+        "(V re-tuned for neutrality at each phi)",
+    )
+    publish("fig5c_overestimation", table)
+
+    assert all(r["neutral"] for r in rows)
+    assert all(r["dropped"] == 0.0 for r in rows)
+    # Paper: <2.5% increase at phi = 1.2; assert a loose 6% ceiling on the
+    # magnitude of the change to preserve the "mild impact" shape.
+    assert all(abs(r["cost_increase"]) < 0.06 for r in rows)
+    benchmark.extra_info["cost_increase_at_1_2"] = rows[-1]["cost_increase"]

@@ -1,0 +1,34 @@
+"""Fig. 5(d): sensitivity to server switching costs.
+
+Switching cost is charged as energy per power-on transition, normalized to
+the server's maximum hourly energy (0.231 kWh); the paper sweeps 0-10% and
+reports the total operational cost rises by <5%.  The controller here is
+switching-aware (transition energy appears in its P3 objective), so it
+naturally damps thrashing as the cost grows.
+"""
+
+from repro.analysis import render_table, switching_sweep
+
+FRACTIONS = [0.0, 0.025, 0.05, 0.075, 0.10]
+
+
+def test_fig5d_switching_cost(benchmark, publish, fiu_scenario, fiu_v_star):
+    rows = benchmark.pedantic(
+        lambda: switching_sweep(fiu_scenario, FRACTIONS, v=fiu_v_star),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(
+        rows,
+        title="Fig. 5(d): total-cost impact of per-server switching cost "
+        "(fraction of the 0.231 kWh max hourly energy per power-on)",
+    )
+    publish("fig5d_switching", table)
+
+    assert all(r["neutral"] for r in rows)
+    # Paper: <5% increase at the 10% switching cost.
+    assert abs(rows[-1]["cost_increase"]) < 0.05
+    # Switching energy grows with the per-toggle charge... but the aware
+    # controller also suppresses toggles, so only sanity-check positivity.
+    assert rows[-1]["switching_energy"] >= 0.0
+    benchmark.extra_info["cost_increase_at_10pct"] = rows[-1]["cost_increase"]

@@ -1,0 +1,72 @@
+"""Theorem 2: the analytical guarantees, validated numerically.
+
+For monthly frames (R = 12, T = 730) over the paper-scale year:
+
+* part (b): COCA's measured average cost must not exceed
+  ``mean(G_r^*) + C(T)/R * sum(1/V_r)``;
+* part (a): measured average brown energy must not exceed the budget rate
+  plus the fudge factor ``sum_r sqrt(C(T) + V_r (G_r^* - g_min)) / (R sqrt(T))``;
+* the O(1/V) behaviour: the *measured* gap between COCA and the lookahead
+  benchmark shrinks as V grows.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table, run_coca
+from repro.baselines import lookahead_optima
+from repro.core.bounds import cost_bound, deficit_bound, lyapunov_constants
+
+T = 730  # monthly frames: 12 x 730 = 8760
+V_VALUES = [30.0, 120.0, 480.0]
+
+
+def test_theorem2_bounds(benchmark, publish, fiu_scenario):
+    sc = fiu_scenario
+
+    def run():
+        frames = lookahead_optima(sc.model, sc.environment, T=T, alpha=sc.alpha)
+        g_star = np.array([f.average_cost for f in frames])
+        consts = lyapunov_constants(sc.model, sc.environment.portfolio, alpha=sc.alpha)
+        out = []
+        for v in V_VALUES:
+            from repro.core import COCA
+            from repro.sim import simulate
+
+            controller = COCA(
+                sc.model,
+                sc.environment.portfolio,
+                v_schedule=float(v),
+                frame_length=T,
+                alpha=sc.alpha,
+            )
+            record = simulate(sc.model, controller, sc.environment)
+            vs = np.full(len(frames), float(v))
+            out.append(
+                {
+                    "V": float(v),
+                    "measured avg cost": record.average_cost,
+                    "lookahead mean G*": float(g_star.mean()),
+                    "cost bound (Thm 2b)": cost_bound(consts, g_star, vs, T=T),
+                    "measured avg brown": float(record.brown_energy.mean()),
+                    "deficit bound (Thm 2a)": deficit_bound(
+                        consts, sc.environment.portfolio, g_star, vs, T=T, alpha=sc.alpha
+                    ),
+                }
+            )
+        return out, g_star
+
+    rows, g_star = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        rows,
+        title=f"Theorem 2 validation: monthly frames (T={T}, R={8760 // T}), "
+        "measured COCA vs analytical bounds",
+    )
+    publish("theorem2_bounds", table)
+
+    for row in rows:
+        assert row["measured avg cost"] <= row["cost bound (Thm 2b)"] + 1e-6
+        assert row["measured avg brown"] <= row["deficit bound (Thm 2a)"] + 1e-9
+    # O(1/V): the measured cost gap over the lookahead optimum shrinks in V.
+    gaps = [r["measured avg cost"] - r["lookahead mean G*"] for r in rows]
+    assert gaps[-1] <= gaps[0] + 1e-9
+    benchmark.extra_info["gaps"] = gaps

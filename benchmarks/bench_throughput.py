@@ -1,0 +1,56 @@
+"""Engine-room benchmarks: simulation and sweep throughput.
+
+Not a paper figure -- these time the building blocks the experiment harness
+leans on, so regressions in the hot paths (the vectorized whole-year sweep,
+the per-slot enumeration engine, a full COCA policy-year) are visible.
+"""
+
+import numpy as np
+
+from repro.core import COCA
+from repro.sim import simulate
+from repro.solvers import HomogeneousEnumerationSolver
+from repro.solvers.batch import batch_enumerate
+
+
+def test_batch_year_sweep(benchmark, fiu_scenario):
+    """One vectorized year (8760 slots x 201 x 4 candidates) at fixed q."""
+    sc = fiu_scenario
+    env = sc.environment
+
+    result = benchmark(
+        lambda: batch_enumerate(
+            sc.model,
+            env.actual_workload.values,
+            env.portfolio.onsite.values,
+            env.price.values,
+            q=100.0,
+        )
+    )
+    assert np.isfinite(result.total_brown)
+
+
+def test_single_slot_enumeration(benchmark, fiu_scenario):
+    """The per-slot engine COCA calls 8760 times per policy-year."""
+    sc = fiu_scenario
+    obs = sc.environment.observation(1500)
+    problem = sc.model.slot_problem(
+        arrival_rate=obs.arrival_rate, onsite=obs.onsite, price=obs.price, q=50.0
+    )
+    solver = HomogeneousEnumerationSolver()
+    sol = benchmark(lambda: solver.solve(problem))
+    assert np.isfinite(sol.objective)
+
+
+def test_coca_policy_year(benchmark, fiu_scenario):
+    """A full closed-loop COCA year (decide + realize + queue update)."""
+    sc = fiu_scenario
+
+    def run():
+        controller = COCA(
+            sc.model, sc.environment.portfolio, v_schedule=100.0, alpha=sc.alpha
+        )
+        return simulate(sc.model, controller, sc.environment)
+
+    record = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert record.horizon == 8760

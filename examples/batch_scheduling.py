@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Co-scheduling delay-tolerant batch jobs with COCA (section 2.3).
+
+The paper isolates batch workloads behind "a separate batch job queue";
+this example runs :class:`BatchAwareCOCA`, which extends Algorithm 1 with a
+second Lyapunov queue for batch backlog.  Watch for the headline behaviour
+of green batch scheduling, here obtained *without any prediction*:
+
+* batch work drains preferentially when the *carbon-inclusive* marginal
+  price (V w(t) + q(t)) is low -- note the per-slot marginal cost of batch
+  work only varies ~10% in this scenario, so the advantage is a few
+  percent, not a dramatic shift;
+* the backlog is bounded (freshness floor) and fully conserved;
+* carbon neutrality still holds for the combined workload.
+
+Run:  python examples/batch_scheduling.py
+"""
+
+import numpy as np
+
+from repro import BatchAwareCOCA, COCA, simulate, small_scenario
+from repro.analysis import render_table
+from repro.traces import Trace
+
+scenario = small_scenario(horizon=24 * 14)
+env = scenario.environment
+rng = np.random.default_rng(42)
+
+# Batch arrivals: ~15% of the interactive volume, arriving in bursts.
+interactive_mean = env.actual_workload.mean
+batch = Trace(
+    rng.uniform(0.0, 0.3, scenario.horizon) * interactive_mean,
+    name="batch-arrivals",
+    unit="req/s",
+)
+print(f"interactive mean: {interactive_mean:,.0f} req/s; "
+      f"batch mean: {batch.mean:,.0f} req/s "
+      f"({100 * batch.mean / interactive_mean:.0f}% extra work)")
+
+# The batch work adds ~10% energy on top of the interactive calibration,
+# so widen the budget accordingly before asking for neutrality.
+scenario = scenario.with_budget_fraction(1.0)
+env = scenario.environment
+
+def run(v):
+    ctrl = BatchAwareCOCA(
+        scenario.model,
+        env.portfolio,
+        batch,
+        v_schedule=v,
+        eta=8.0,
+        max_age_slots=96,
+    )
+    return ctrl, simulate(scenario.model, ctrl, env)
+
+# Cheapest neutral V by geometric bisection.
+lo, hi, v_star = 1e-4, 10.0, None
+for _ in range(7):
+    mid = (lo * hi) ** 0.5
+    _, trial = run(mid)
+    if trial.ledger(env.portfolio, scenario.alpha).is_neutral():
+        lo, v_star = mid, mid
+    else:
+        hi = mid
+controller, record = run(v_star if v_star is not None else lo)
+
+served = np.asarray(controller.batch_served)
+price = env.price.values
+v_used = controller.inner.v_history[0]
+# The scheduler's true signal is the carbon-inclusive marginal price
+# V*w(t) + q(t): raw electricity price plus the deficit-queue pressure.
+effective = v_used * price + np.asarray(controller.inner.queue_at_decision)
+weighted_price = float(np.sum(served * price) / served.sum())
+weighted_effective = float(np.sum(served * effective) / served.sum())
+
+print()
+print(f"batch work arrived : {controller.backlog.total_arrived:,.0f} rate-hours")
+print(f"batch work served  : {controller.backlog.total_served:,.0f} rate-hours")
+print(f"final backlog      : {controller.backlog.backlog:,.0f} rate-hours")
+print()
+print(f"avg electricity price              : {price.mean():.2f} $/MWh")
+print(f"batch-weighted electricity price   : {weighted_price:.2f} $/MWh")
+print(f"avg carbon-inclusive price V*w+q   : {effective.mean():.4f}")
+print(f"batch-weighted carbon-incl. price  : {weighted_effective:.4f} "
+      f"({100 * (1 - weighted_effective / effective.mean()):.1f}% below average)")
+print(f"carbon neutral (combined load)   : "
+      f"{record.ledger(env.portfolio, scenario.alpha).is_neutral()}")
+
+# When does batch run?  Bucket service by price quartile.
+quartiles = np.quantile(effective, [0.25, 0.5, 0.75])
+bucket = np.digitize(effective, quartiles)
+rows = [
+    {
+        "carbon-incl. price quartile": ["cheapest", "2nd", "3rd", "dearest"][b],
+        "share of batch work": float(served[bucket == b].sum() / served.sum()),
+        "share of hours": float((bucket == b).mean()),
+    }
+    for b in range(4)
+]
+print()
+print(render_table(rows, title="when the batch queue drains (by carbon-inclusive price)"))

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The paper's section 5 story, end to end, at configurable scale.
+
+Reproduces the qualitative content of Figs. 2, 3 and 5(a) in one script:
+
+1. the V trade-off (cost down, carbon deficit up) with the carbon-unaware
+   asymptote -- Fig. 2(a,b);
+2. COCA vs the prediction-based PerfectHP heuristic -- Fig. 3;
+3. normalized cost vs carbon budget for COCA / OPT / carbon-unaware --
+   Fig. 5(a).
+
+By default this runs a one-month, 8-group scenario (~10 s).  Pass
+``--paper-scale`` for the full 216 K-server, one-year configuration the
+paper uses (a few minutes).
+
+Run:  python examples/paper_evaluation.py [--paper-scale]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import CarbonUnaware, paper_scenario, simulate, small_scenario
+from repro.analysis import (
+    budget_sweep,
+    compare_with_perfecthp,
+    find_neutral_v,
+    render_table,
+    sweep_constant_v,
+    time_bucket_rows,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        scenario = paper_scenario()
+        v_grid = [10.0, 30.0, 60.0, 120.0, 300.0, 1000.0]
+    else:
+        scenario = small_scenario(horizon=24 * 30)
+        v_grid = list(np.geomspace(1e-3, 1e2, 6))
+
+    portfolio = scenario.environment.portfolio
+    print(f"servers={scenario.model.fleet.num_servers}  horizon={scenario.horizon}h")
+    print(f"unaware brown={scenario.unaware_brown:.4g} MWh  budget={scenario.budget:.4g} MWh")
+
+    # ------------------------------------------------------- Fig. 2(a,b)
+    rows = sweep_constant_v(scenario, v_grid)
+    print()
+    print(render_table(rows, title="Fig. 2(a,b): impact of constant V"))
+
+    # ------------------------------------------------------- Fig. 3
+    v_star = find_neutral_v(scenario, iters=10)
+    cmp = compare_with_perfecthp(scenario, v_star)
+    print()
+    print(f"Fig. 3: COCA (V*={v_star:.4g}) vs PerfectHP")
+    print(f"  cost saving            : {100 * cmp['cost_saving']:.1f}%")
+    print(f"  COCA avg deficit       : {cmp['coca_deficit']:.4g} MWh/h")
+    print(f"  PerfectHP avg deficit  : {cmp['perfecthp_deficit']:.4g} MWh/h")
+    buckets = time_bucket_rows(
+        [cmp["coca"], cmp["perfecthp"]], portfolio, alpha=scenario.alpha, buckets=8
+    )
+    print(render_table(buckets, title="running averages over time"))
+
+    # ------------------------------------------------------- Fig. 5(a)
+    fractions = [0.85, 0.90, 0.95, 1.00]
+    rows5 = budget_sweep(scenario, fractions, include_opt=True, v_iters=8)
+    print()
+    print(
+        render_table(
+            rows5,
+            title="Fig. 5(a): normalized cost vs carbon budget "
+            "(1.0 = carbon-unaware cost)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

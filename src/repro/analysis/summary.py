@@ -1,0 +1,91 @@
+"""Cross-run comparison helpers.
+
+Turn a set of :class:`~repro.sim.metrics.SimulationRecord` runs into
+normalized comparison rows: who is cheapest, who is neutral, and by what
+factors -- the quantities the paper's headline claims are stated in
+("reduces cost by more than 25% ... while resulting in a smaller carbon
+footprint").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..energy.renewables import RenewablePortfolio
+from ..sim.metrics import SimulationRecord
+
+__all__ = ["compare_records", "cost_saving", "time_bucket_rows"]
+
+
+def compare_records(
+    records: Sequence[SimulationRecord],
+    portfolio: RenewablePortfolio,
+    *,
+    alpha: float = 1.0,
+    baseline: str | None = None,
+) -> list[dict]:
+    """One row per record with costs normalized to ``baseline`` (default:
+    the first record)."""
+    if not records:
+        return []
+    base_name = baseline if baseline is not None else records[0].controller
+    base = next((r for r in records if r.controller == base_name), None)
+    if base is None:
+        raise ValueError(f"baseline record {base_name!r} not found")
+    rows = []
+    for rec in records:
+        summary = rec.summary(portfolio, alpha)
+        rows.append(
+            {
+                "controller": rec.controller,
+                "avg_cost": summary.average_cost,
+                "cost_vs_base": summary.average_cost / base.average_cost,
+                "avg_deficit": summary.average_deficit,
+                "brown": summary.total_brown,
+                "neutral": summary.is_neutral,
+            }
+        )
+    return rows
+
+
+def cost_saving(ours: SimulationRecord, theirs: SimulationRecord) -> float:
+    """Fractional saving of ``ours`` relative to ``theirs`` (0.25 = 25%)."""
+    if theirs.average_cost <= 0:
+        raise ValueError("reference record has non-positive cost")
+    return 1.0 - ours.average_cost / theirs.average_cost
+
+
+def time_bucket_rows(
+    records: Sequence[SimulationRecord],
+    portfolio: RenewablePortfolio,
+    *,
+    alpha: float = 1.0,
+    buckets: int = 12,
+    kind: str = "running",
+    window: int = 45 * 24,
+) -> list[dict]:
+    """Sample each record's cost/deficit time series at ``buckets`` evenly
+    spaced slots -- the tabular rendering of Fig. 2(c,d) ("moving", 45-day
+    trailing window) and Fig. 3 ("running" averages)."""
+    if not records:
+        return []
+    horizon = records[0].horizon
+    idx = np.unique(np.linspace(0, horizon - 1, buckets).astype(int))
+    rows = []
+    for t in idx:
+        row: dict = {"slot": int(t)}
+        for rec in records:
+            if kind == "running":
+                cost = rec.running_average_cost()
+                deficit = rec.running_average_deficit(portfolio, alpha)
+            elif kind == "moving":
+                cost = rec.moving_average_cost(window)
+                deficit = rec.moving_average_deficit(portfolio, alpha, window)
+            else:
+                raise ValueError("kind must be 'running' or 'moving'")
+            row[f"{rec.controller} cost"] = float(cost[t])
+            row[f"{rec.controller} deficit"] = float(deficit[t])
+        rows.append(row)
+    return rows

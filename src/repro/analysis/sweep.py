@@ -1,0 +1,303 @@
+"""Experiment drivers: the parameter sweeps behind every figure.
+
+Each function runs controllers over a :class:`~repro.scenarios.Scenario`
+and returns plain row dictionaries (ready for
+:func:`repro.analysis.tables.render_table` or further processing), so the
+benchmark harness, the examples, and ad-hoc notebooks share one
+implementation of each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.carbon_unaware import CarbonUnaware
+from ..baselines.offline_opt import OfflineOptimal
+from ..baselines.perfect_hp import PerfectHP
+from ..core.coca import COCA
+from ..core.vschedule import VSchedule
+from ..scenarios import Scenario
+from ..sim.engine import simulate
+from ..sim.metrics import SimulationRecord
+from ..traces.noise import overestimate
+
+__all__ = [
+    "run_coca",
+    "sweep_constant_v",
+    "find_neutral_v",
+    "run_varying_v",
+    "compare_with_perfecthp",
+    "budget_sweep",
+    "overestimation_sweep",
+    "switching_sweep",
+    "portfolio_sweep",
+]
+
+
+def run_coca(
+    scenario: Scenario,
+    v_schedule: VSchedule | float,
+    *,
+    frame_length: int | None = None,
+) -> tuple[SimulationRecord, COCA]:
+    """Run COCA once on the scenario; returns (record, controller)."""
+    controller = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=v_schedule,
+        frame_length=frame_length,
+        alpha=scenario.alpha,
+    )
+    record = simulate(scenario.model, controller, scenario.environment)
+    return record, controller
+
+
+def sweep_constant_v(scenario: Scenario, v_values: Sequence[float]) -> list[dict]:
+    """Fig. 2(a,b): average hourly cost and carbon deficit vs constant V."""
+    portfolio = scenario.environment.portfolio
+    rows = []
+    for v in v_values:
+        record, _ = run_coca(scenario, float(v))
+        rows.append(
+            {
+                "V": float(v),
+                "avg_cost": record.average_cost,
+                "avg_deficit": record.average_deficit(portfolio, scenario.alpha),
+                "brown": record.total_brown,
+                "brown_fraction": record.total_brown / scenario.unaware_brown,
+                "neutral": record.ledger(portfolio, scenario.alpha).is_neutral(),
+            }
+        )
+    return rows
+
+
+def find_neutral_v(
+    scenario: Scenario,
+    *,
+    v_lo: float = 1e-3,
+    v_hi: float = 1e6,
+    iters: int = 12,
+) -> float:
+    """Largest (cheapest) constant ``V`` that still satisfies neutrality.
+
+    Brown energy is monotonically nondecreasing in ``V`` (more cost focus,
+    less deficit pressure), so bisection applies.  This automates the
+    paper's "we appropriately choose V such that carbon neutrality is
+    satisfied" for the sensitivity studies.
+    """
+    portfolio = scenario.environment.portfolio
+
+    def neutral(v: float) -> bool:
+        record, _ = run_coca(scenario, v)
+        return record.ledger(portfolio, scenario.alpha).is_neutral()
+
+    if neutral(v_hi):
+        return v_hi
+    if not neutral(v_lo):
+        raise ValueError(
+            f"even V={v_lo} violates neutrality; the budget may be infeasible"
+        )
+    lo, hi = v_lo, v_hi
+    for _ in range(iters):
+        mid = float(np.sqrt(lo * hi))  # geometric: V spans decades
+        if neutral(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def run_varying_v(
+    scenario: Scenario,
+    v_schedule: VSchedule | Sequence[float],
+    frame_length: int,
+) -> tuple[SimulationRecord, COCA]:
+    """Fig. 2(c,d): COCA with per-frame V values (e.g. quarterly)."""
+    from ..core.vschedule import FrameV
+
+    if not isinstance(v_schedule, VSchedule):
+        v_schedule = FrameV(tuple(float(v) for v in v_schedule))
+    return run_coca(scenario, v_schedule, frame_length=frame_length)
+
+
+def compare_with_perfecthp(scenario: Scenario, v: float) -> dict:
+    """Fig. 3: COCA vs PerfectHP records plus headline ratios."""
+    portfolio = scenario.environment.portfolio
+    coca_record, _ = run_coca(scenario, v)
+    hp = PerfectHP(scenario.model, alpha=scenario.alpha)
+    hp_record = simulate(scenario.model, hp, scenario.environment)
+    return {
+        "coca": coca_record,
+        "perfecthp": hp_record,
+        "cost_saving": 1.0 - coca_record.average_cost / hp_record.average_cost,
+        "coca_deficit": coca_record.average_deficit(portfolio, scenario.alpha),
+        "perfecthp_deficit": hp_record.average_deficit(portfolio, scenario.alpha),
+    }
+
+
+def budget_sweep(
+    scenario: Scenario,
+    fractions: Sequence[float],
+    *,
+    include_opt: bool = True,
+    v_iters: int = 10,
+) -> list[dict]:
+    """Fig. 5(a,b): normalized cost vs carbon budget for COCA / OPT /
+    carbon-unaware.  Costs are normalized by the unaware average cost;
+    budgets by the unaware brown energy.  COCA's V is auto-tuned per budget
+    (the paper: "we appropriately choose V such that carbon neutrality is
+    satisfied")."""
+    portfolio0 = scenario.environment.portfolio
+    unaware = CarbonUnaware(scenario.model)
+    unaware_record = simulate(scenario.model, unaware, scenario.environment)
+    rows = []
+    for frac in fractions:
+        sc = scenario.with_budget_fraction(float(frac))
+        portfolio = sc.environment.portfolio
+        row: dict = {
+            "budget_fraction": float(frac),
+            "unaware_cost": unaware_record.average_cost / scenario.unaware_cost,
+            "unaware_neutral": unaware_record.total_brown <= sc.budget,
+        }
+        if frac >= 1.0 and unaware_record.total_brown <= sc.budget:
+            # Budget exceeds unaware usage: COCA (any large V) == unaware.
+            record, _ = run_coca(sc, 1e9)
+        else:
+            v_star = find_neutral_v(sc, iters=v_iters)
+            record, _ = run_coca(sc, v_star)
+            row["v_star"] = v_star
+        row["coca_cost"] = record.average_cost / scenario.unaware_cost
+        row["coca_neutral"] = record.ledger(portfolio, sc.alpha).is_neutral()
+        if include_opt:
+            opt = OfflineOptimal(scenario.model, budget=sc.budget, alpha=sc.alpha)
+            opt_record = simulate(scenario.model, opt, sc.environment)
+            row["opt_cost"] = opt_record.average_cost / scenario.unaware_cost
+            row["opt_neutral"] = opt_record.total_brown <= sc.budget * (1 + 1e-9)
+        rows.append(row)
+    return rows
+
+
+def _neutral_run(
+    scenario: Scenario, environment, v: float | None, *, v_iters: int = 9
+) -> tuple[SimulationRecord, float]:
+    """Run COCA neutrally: use ``v`` if it satisfies neutrality on this
+    environment, otherwise re-tune V (the paper: "for all the cases, we
+    appropriately choose V such that carbon neutrality is satisfied")."""
+
+    def attempt(v_try: float) -> SimulationRecord:
+        controller = COCA(
+            scenario.model,
+            environment.portfolio,
+            v_schedule=v_try,
+            alpha=scenario.alpha,
+        )
+        return simulate(scenario.model, controller, environment)
+
+    if v is not None:
+        record = attempt(v)
+        if record.ledger(environment.portfolio, scenario.alpha).is_neutral():
+            return record, v
+
+    lo, hi = 1e-4, 1e7
+    if not attempt(lo).ledger(environment.portfolio, scenario.alpha).is_neutral():
+        return attempt(lo), lo  # budget infeasible even at tiny V; report it
+    best = lo
+    for _ in range(v_iters):
+        mid = float(np.sqrt(lo * hi))
+        if attempt(mid).ledger(environment.portfolio, scenario.alpha).is_neutral():
+            lo = best = mid
+        else:
+            hi = mid
+    return attempt(best), best
+
+
+def overestimation_sweep(
+    scenario: Scenario, phis: Sequence[float], *, v: float | None = None
+) -> list[dict]:
+    """Fig. 5(c): total-cost impact of overestimating workloads by phi.
+
+    Per the paper's protocol, V is (re-)chosen at every point so that
+    neutrality holds before costs are compared.
+    """
+    if v is None:
+        v = find_neutral_v(scenario)
+    base_cost = None
+    rows = []
+    for phi in phis:
+        env = scenario.environment.with_workload(
+            overestimate(scenario.environment.actual_workload, float(phi))
+        )
+        record, v_used = _neutral_run(scenario, env, v)
+        if base_cost is None:
+            base_cost = record.average_cost
+        rows.append(
+            {
+                "phi": float(phi),
+                "avg_cost": record.average_cost,
+                "cost_increase": record.average_cost / base_cost - 1.0,
+                "v_used": v_used,
+                "dropped": float(record.dropped.sum()),
+                "neutral": record.ledger(env.portfolio, scenario.alpha).is_neutral(),
+            }
+        )
+    return rows
+
+
+def switching_sweep(
+    scenario: Scenario, fractions: Sequence[float], *, v: float | None = None
+) -> list[dict]:
+    """Fig. 5(d): total-cost impact of per-server switching cost, expressed
+    as a fraction of the server's maximum hourly energy."""
+    if v is None:
+        v = find_neutral_v(scenario)
+    base_cost = None
+    rows = []
+    for frac in fractions:
+        sc = scenario.with_switching(float(frac))
+        record, v_used = _neutral_run(sc, sc.environment, v)
+        if base_cost is None:
+            base_cost = record.average_cost
+        rows.append(
+            {
+                "switching_fraction": float(frac),
+                "avg_cost": record.average_cost,
+                "cost_increase": record.average_cost / base_cost - 1.0,
+                "v_used": v_used,
+                "switching_energy": float(record.switching_energy.sum()),
+                "neutral": record.ledger(
+                    sc.environment.portfolio, sc.alpha
+                ).is_neutral(),
+            }
+        )
+    return rows
+
+
+def portfolio_sweep(
+    scenario: Scenario, offsite_fractions: Sequence[float], *, v: float | None = None
+) -> list[dict]:
+    """Section 5.2.4 remark: cost sensitivity to the off-site/REC split of a
+    fixed total budget (paper: <1% change)."""
+    if v is None:
+        v = find_neutral_v(scenario)
+    rows = []
+    base_cost = None
+    for frac in offsite_fractions:
+        sc = scenario.with_budget_fraction(
+            scenario.budget_fraction, offsite_fraction=float(frac)
+        )
+        record, _ = _neutral_run(sc, sc.environment, v)
+        if base_cost is None:
+            base_cost = record.average_cost
+        rows.append(
+            {
+                "offsite_fraction": float(frac),
+                "avg_cost": record.average_cost,
+                "cost_change": record.average_cost / base_cost - 1.0,
+                "neutral": record.ledger(
+                    sc.environment.portfolio, sc.alpha
+                ).is_neutral(),
+            }
+        )
+    return rows

@@ -1,0 +1,18 @@
+"""Baseline policies the paper compares COCA against."""
+
+from .carbon_unaware import CarbonUnaware, calibrate_budget
+from .lookahead import FrameOptimum, TStepLookahead, lookahead_optima
+from .offline_opt import DualSweep, OfflineOptimal, solve_dual_multiplier
+from .perfect_hp import PerfectHP
+
+__all__ = [
+    "CarbonUnaware",
+    "calibrate_budget",
+    "OfflineOptimal",
+    "DualSweep",
+    "solve_dual_multiplier",
+    "PerfectHP",
+    "TStepLookahead",
+    "FrameOptimum",
+    "lookahead_optima",
+]

@@ -1,0 +1,73 @@
+"""Carbon-unaware baseline: pure per-slot cost minimization.
+
+This is COCA's ``V -> infinity`` limit (section 5.2.1): every slot minimizes
+``g = e + beta d`` with no regard for the neutrality constraint.  The paper
+uses its annual electricity consumption (1.55e5 MWh under their settings) to
+*define* the experiments' carbon budgets -- e.g. the default budget is 92%
+of the unaware usage -- so this controller doubles as the calibration tool
+(:func:`calibrate_budget`).
+"""
+
+from __future__ import annotations
+
+from ..core.config import DataCenterModel
+from ..core.controller import Controller, SlotObservation
+from ..solvers.base import SlotSolution, SlotSolver
+from ..solvers.batch import batch_enumerate, supports_batch
+from ..solvers.enumeration import HomogeneousEnumerationSolver
+from ..solvers.convex import CoordinateDescentSolver
+
+__all__ = ["CarbonUnaware", "calibrate_budget"]
+
+
+class CarbonUnaware(Controller):
+    """Minimize the instantaneous cost ``g(t)`` every slot (``q = 0``)."""
+
+    def __init__(self, model: DataCenterModel, *, solver: SlotSolver | None = None):
+        self.model = model
+        if solver is None:
+            solver = (
+                HomogeneousEnumerationSolver()
+                if model.fleet.is_homogeneous
+                else CoordinateDescentSolver()
+            )
+        self.solver = solver
+        self._prev_on = None
+
+    def decide(self, observation: SlotObservation) -> SlotSolution:
+        problem = self.model.slot_problem(
+            arrival_rate=observation.arrival_rate,
+            onsite=observation.onsite,
+            price=observation.price,
+            network_delay=observation.network_delay,
+            pue_override=observation.pue,
+            q=0.0,
+            V=1.0,
+            prev_on_counts=self._prev_on,
+        )
+        solution = self.solver.solve(problem)
+        self._prev_on = solution.action.on_counts(self.model.fleet)
+        return solution
+
+    def name(self) -> str:
+        return "carbon-unaware"
+
+
+def calibrate_budget(model: DataCenterModel, environment) -> float:
+    """Total brown energy (MWh) the carbon-unaware policy would draw over
+    the period -- the normalization constant of the paper's budget sweeps
+    (their 1.55e5 MWh).  Uses the vectorized sweep when available."""
+    if supports_batch(model):
+        result = batch_enumerate(
+            model,
+            environment.actual_workload.values,
+            environment.portfolio.onsite.values,
+            environment.price.values,
+            q=0.0,
+            V=1.0,
+        )
+        return result.total_brown
+    from ..sim.engine import simulate
+
+    record = simulate(model, CarbonUnaware(model), environment)
+    return record.total_brown

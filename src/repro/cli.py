@@ -1,0 +1,223 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` exposes the experiment drivers without
+writing any Python:
+
+=============  ==========================================================
+Command        What it runs
+=============  ==========================================================
+quickstart     COCA vs carbon-unaware on one scenario (the README demo)
+sweep-v        Fig. 2(a,b): cost/deficit vs constant V
+compare-hp     Fig. 3: COCA vs PerfectHP
+budget-sweep   Fig. 5(a,b): normalized cost vs carbon budget
+traces         summarize any of the synthetic trace generators
+=============  ==========================================================
+
+All commands accept ``--scale {small,paper}`` (a 400-server fortnight vs
+the 216 K-server year), ``--horizon`` to override the number of hourly
+slots, and ``--workload {fiu,msr}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=["small", "paper"],
+        default="small",
+        help="small: 400 servers / 2 weeks; paper: 216k servers / 1 year",
+    )
+    parser.add_argument("--horizon", type=int, default=None, help="slots override")
+    parser.add_argument("--workload", choices=["fiu", "msr"], default="fiu")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.92,
+        help="carbon budget as a fraction of the carbon-unaware usage",
+    )
+
+
+def _build_scenario(args):
+    from .scenarios import paper_scenario, small_scenario
+
+    kwargs: dict = {
+        "workload": args.workload,
+        "budget_fraction": args.budget_fraction,
+    }
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.horizon is not None:
+        kwargs["horizon"] = args.horizon
+    if args.scale == "paper":
+        return paper_scenario(**kwargs)
+    return small_scenario(**kwargs)
+
+
+# ----------------------------------------------------------------- commands
+def _cmd_quickstart(args) -> int:
+    from .analysis import compare_records, find_neutral_v, render_table, run_coca
+    from .baselines import CarbonUnaware
+    from .sim import simulate
+
+    scenario = _build_scenario(args)
+    portfolio = scenario.environment.portfolio
+    print(
+        f"scenario: {scenario.model.fleet.num_servers} servers, "
+        f"{scenario.horizon} h, budget {scenario.budget:.4g} MWh "
+        f"({100 * scenario.budget_fraction:.0f}% of unaware)"
+    )
+    v = args.v if args.v is not None else find_neutral_v(scenario, iters=args.v_iters)
+    print(f"V = {v:.4g}" + ("" if args.v is not None else " (auto-tuned for neutrality)"))
+    unaware = simulate(scenario.model, CarbonUnaware(scenario.model), scenario.environment)
+    record, _ = run_coca(scenario, v)
+    rows = compare_records([unaware, record], portfolio, alpha=scenario.alpha)
+    print(render_table(rows, title="carbon-unaware vs COCA"))
+    return 0
+
+
+def _cmd_sweep_v(args) -> int:
+    from .analysis import render_table, sweep_constant_v
+
+    scenario = _build_scenario(args)
+    values = [float(v) for v in args.values.split(",")]
+    rows = sweep_constant_v(scenario, values)
+    print(render_table(rows, title="Fig. 2(a,b): impact of constant V"))
+    return 0
+
+
+def _cmd_compare_hp(args) -> int:
+    from .analysis import compare_with_perfecthp, find_neutral_v, render_table, time_bucket_rows
+
+    scenario = _build_scenario(args)
+    v = args.v if args.v is not None else find_neutral_v(scenario, iters=args.v_iters)
+    cmp = compare_with_perfecthp(scenario, v)
+    print(f"COCA (V={v:.4g}) vs PerfectHP: cost saving {100 * cmp['cost_saving']:.1f}%")
+    rows = time_bucket_rows(
+        [cmp["coca"], cmp["perfecthp"]],
+        scenario.environment.portfolio,
+        alpha=scenario.alpha,
+        buckets=args.buckets,
+    )
+    print(render_table(rows, title="Fig. 3: running averages"))
+    return 0
+
+
+def _cmd_budget_sweep(args) -> int:
+    from .analysis import budget_sweep, render_table
+
+    scenario = _build_scenario(args)
+    fractions = [float(f) for f in args.fractions.split(",")]
+    rows = budget_sweep(
+        scenario, fractions, include_opt=not args.no_opt, v_iters=args.v_iters
+    )
+    print(render_table(rows, title="Fig. 5: normalized cost vs carbon budget"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import scenario_report
+
+    scenario = _build_scenario(args)
+    text = scenario_report(
+        scenario, v=args.v, include_opt=not args.no_opt, v_iters=args.v_iters
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_traces(args) -> int:
+    from .energy.rec_market import rec_price_trace
+    from .traces import fiu_workload, msr_workload, price_trace, solar_trace, wind_trace
+
+    generators = {
+        "fiu": lambda: fiu_workload(args.horizon or 8760, peak=1.0, seed=args.seed or 2012),
+        "msr": lambda: msr_workload(args.horizon or 8760, peak=1.0, seed=args.seed or 2007),
+        "solar": lambda: solar_trace(args.horizon or 8760, seed=args.seed or 77),
+        "wind": lambda: wind_trace(args.horizon or 8760, seed=args.seed or 88),
+        "price": lambda: price_trace(args.horizon or 8760, seed=args.seed or 55),
+        "rec-price": lambda: rec_price_trace(args.horizon or 8760, seed=args.seed or 31),
+    }
+    trace = generators[args.kind]()
+    print(trace.describe())
+    profile = trace.daily_profile()
+    peak_hour = int(np.argmax(profile))
+    print(f"daily profile peak at hour {peak_hour:02d}:00 "
+          f"(x{profile[peak_hour] / profile.mean():.2f} of the daily mean)")
+    return 0
+
+
+# ----------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COCA (SC'13) reproduction: experiments from the command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="COCA vs carbon-unaware")
+    _add_scenario_args(p)
+    p.add_argument("--v", type=float, default=None, help="fixed V (default: auto)")
+    p.add_argument("--v-iters", type=int, default=9)
+    p.set_defaults(func=_cmd_quickstart)
+
+    p = sub.add_parser("sweep-v", help="Fig. 2(a,b): V sweep")
+    _add_scenario_args(p)
+    p.add_argument("--values", default="0.001,0.01,0.1,1,10,100")
+    p.set_defaults(func=_cmd_sweep_v)
+
+    p = sub.add_parser("compare-hp", help="Fig. 3: COCA vs PerfectHP")
+    _add_scenario_args(p)
+    p.add_argument("--v", type=float, default=None)
+    p.add_argument("--v-iters", type=int, default=9)
+    p.add_argument("--buckets", type=int, default=10)
+    p.set_defaults(func=_cmd_compare_hp)
+
+    p = sub.add_parser("budget-sweep", help="Fig. 5: budget sweep")
+    _add_scenario_args(p)
+    p.add_argument("--fractions", default="0.85,0.95,1.0")
+    p.add_argument("--no-opt", action="store_true", help="skip the OPT baseline")
+    p.add_argument("--v-iters", type=int, default=8)
+    p.set_defaults(func=_cmd_budget_sweep)
+
+    p = sub.add_parser("report", help="full markdown scenario report")
+    _add_scenario_args(p)
+    p.add_argument("--v", type=float, default=None)
+    p.add_argument("--v-iters", type=int, default=9)
+    p.add_argument("--no-opt", action="store_true")
+    p.add_argument("--output", "-o", default=None, help="write to a file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("traces", help="summarize a synthetic trace")
+    p.add_argument("kind", choices=["fiu", "msr", "solar", "wind", "price", "rec-price"])
+    p.add_argument("--horizon", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=_cmd_traces)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Weather-driven time-varying PUE (paper footnote 1).
+
+The paper absorbs cooling and power-delivery overheads into "a
+(time-varying) power usage effectiveness (PUE) factor".  Cooling overhead
+tracks outdoor conditions: free-air economization keeps PUE near its floor
+when it is cool outside, and chiller load grows roughly linearly with the
+temperature excess above the free-cooling threshold.  This module supplies
+
+* :func:`temperature_trace` -- a synthetic hourly outdoor dry-bulb
+  temperature with seasonal and diurnal structure plus weather wander, and
+* :func:`pue_from_temperature` -- the standard piecewise-linear
+  economizer/chiller map from temperature to PUE,
+
+so experiments can hand the simulator a realistic hourly PUE series via
+``Environment(pue=...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..traces.base import HOURS_PER_DAY, HOURS_PER_YEAR, Trace
+
+__all__ = ["temperature_trace", "pue_from_temperature"]
+
+
+def temperature_trace(
+    horizon: int = HOURS_PER_YEAR,
+    *,
+    annual_mean: float = 15.0,
+    seasonal_amplitude: float = 9.0,
+    diurnal_amplitude: float = 5.0,
+    seed: int = 23,
+    rng: np.random.Generator | None = None,
+) -> Trace:
+    """Synthetic hourly outdoor temperature in deg C.
+
+    Seasonal sinusoid (coldest ~late January) + diurnal sinusoid (warmest
+    mid-afternoon) + AR(1) weather wander.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+    t = np.arange(horizon, dtype=np.float64)
+    day_of_year = (t / HOURS_PER_DAY) % 365
+    hour_of_day = t % HOURS_PER_DAY
+    seasonal = -seasonal_amplitude * np.cos(2.0 * np.pi * (day_of_year - 25.0) / 365.0)
+    diurnal = diurnal_amplitude * np.cos(2.0 * np.pi * (hour_of_day - 15.0) / 24.0)
+
+    wander = np.empty(horizon)
+    rho, sigma = 0.98, 0.45
+    innov = gen.normal(0.0, sigma, size=horizon)
+    wander[0] = innov[0]
+    for i in range(1, horizon):
+        wander[i] = rho * wander[i - 1] + innov[i]
+
+    return Trace(annual_mean + seasonal + diurnal + wander, name="temperature", unit="degC")
+
+
+def pue_from_temperature(
+    temperature: Trace,
+    *,
+    base_pue: float = 1.12,
+    free_cooling_threshold: float = 18.0,
+    slope_per_degree: float = 0.02,
+    max_pue: float = 1.8,
+) -> Trace:
+    """Piecewise-linear economizer/chiller PUE map.
+
+    PUE equals ``base_pue`` at or below the free-cooling threshold and
+    rises by ``slope_per_degree`` per deg C above it, clamped at
+    ``max_pue`` (chillers saturate).
+    """
+    if base_pue < 1.0:
+        raise ValueError("base PUE must be >= 1")
+    if max_pue < base_pue:
+        raise ValueError("max PUE must be >= base PUE")
+    if slope_per_degree < 0:
+        raise ValueError("slope must be non-negative")
+    excess = np.maximum(temperature.values - free_cooling_threshold, 0.0)
+    values = np.minimum(base_pue + slope_per_degree * excess, max_pue)
+    return Trace(values, name="pue", unit="")

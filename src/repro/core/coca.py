@@ -1,0 +1,153 @@
+"""COCA: the paper's online controller (Algorithm 1).
+
+Each slot, COCA solves P3 -- minimize ``V g + q(t) [p - r(t)]^+`` -- using
+only currently-available information, then updates the carbon-deficit queue
+once the slot's off-site renewable supply is realized.  At frame boundaries
+(every ``T`` slots) the queue is reset and the cost-carbon parameter ``V_r``
+may change (section 4.3).  Theorem 2 guarantees the resulting average cost
+is within ``C(T)/V`` of the optimal T-step-lookahead policy while the
+deviation from carbon neutrality stays bounded.
+
+The P3 engine is pluggable (the paper: GSD "or other alternative
+algorithms"); by default a homogeneous fleet gets the exact vectorized
+enumeration engine and a heterogeneous one gets coordinate descent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..energy.renewables import RenewablePortfolio
+from ..solvers.base import SlotSolution, SlotSolver
+from ..solvers.convex import CoordinateDescentSolver
+from ..solvers.enumeration import HomogeneousEnumerationSolver
+from .config import DataCenterModel
+from .controller import Controller, SlotObservation, SlotOutcome
+from .deficit_queue import CarbonDeficitQueue
+from .vschedule import ConstantV, FrameFeedback, VSchedule
+
+__all__ = ["COCA", "default_solver"]
+
+
+def default_solver(model: DataCenterModel) -> SlotSolver:
+    """The default P3 engine for a model's fleet (see module docstring)."""
+    if model.fleet.is_homogeneous:
+        return HomogeneousEnumerationSolver()
+    return CoordinateDescentSolver()
+
+
+class COCA(Controller):
+    """Algorithm 1.
+
+    Parameters
+    ----------
+    model:
+        Facility-side parameters (fleet, weights, substrate models).
+    portfolio:
+        The period's renewable supply and RECs; provides the per-slot REC
+        allowance ``z = alpha Z / J`` of the queue dynamics.
+    v_schedule:
+        Cost-carbon parameter per frame; a plain float means constant ``V``.
+    frame_length:
+        Frame size ``T`` in slots; ``None`` means one frame spanning the
+        whole period (constant-``V`` runs).
+    alpha:
+        Electricity-capping aggressiveness of constraint (10).
+    solver:
+        P3 engine override.
+    """
+
+    def __init__(
+        self,
+        model: DataCenterModel,
+        portfolio: RenewablePortfolio,
+        *,
+        v_schedule: VSchedule | float = 100.0,
+        frame_length: int | None = None,
+        alpha: float = 1.0,
+        solver: SlotSolver | None = None,
+    ):
+        if isinstance(v_schedule, (int, float)):
+            v_schedule = ConstantV(float(v_schedule))
+        if frame_length is not None and frame_length < 1:
+            raise ValueError("frame_length must be positive")
+        self.model = model
+        self.portfolio = portfolio
+        self.v_schedule = v_schedule
+        self.frame_length = frame_length
+        self.alpha = alpha
+        self.solver = solver if solver is not None else default_solver(model)
+
+        horizon = portfolio.horizon
+        self.queue = CarbonDeficitQueue(
+            alpha=alpha, rec_per_slot=alpha * portfolio.recs / horizon
+        )
+        self._horizon = horizon
+        self._prev_on: np.ndarray | None = None
+        self._current_v = self.v_schedule.value(0)
+        # Per-slot records for analysis.
+        self.v_history: list[float] = []
+        self.queue_at_decision: list[float] = []
+        # Frame bookkeeping for adaptive schedules.
+        self._frame_cost = 0.0
+        self._frame_deficit = 0.0
+        self._frame_slots = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_frame_length(self) -> int:
+        """``T``; the full horizon when no frame length was given."""
+        return self.frame_length if self.frame_length is not None else self._horizon
+
+    def start(self, environment) -> None:
+        if environment.horizon != self._horizon:
+            raise ValueError(
+                f"environment horizon {environment.horizon} does not match "
+                f"portfolio horizon {self._horizon}"
+            )
+
+    # ------------------------------------------------------------------
+    def decide(self, observation: SlotObservation) -> SlotSolution:
+        t = observation.t
+        T = self.effective_frame_length
+        if t % T == 0:
+            frame = t // T
+            feedback = None
+            if self._frame_slots > 0:
+                feedback = FrameFeedback(
+                    average_cost=self._frame_cost / self._frame_slots,
+                    final_queue_length=self.queue.length,
+                    average_deficit=self._frame_deficit / self._frame_slots,
+                )
+            self._current_v = self.v_schedule.value(frame, feedback=feedback)
+            self.queue.reset()
+            self._frame_cost = self._frame_deficit = 0.0
+            self._frame_slots = 0
+
+        self.v_history.append(self._current_v)
+        self.queue_at_decision.append(self.queue.length)
+
+        problem = self.model.slot_problem(
+            arrival_rate=observation.arrival_rate,
+            onsite=observation.onsite,
+            price=observation.price,
+            network_delay=observation.network_delay,
+            pue_override=observation.pue,
+            q=self.queue.length,
+            V=self._current_v,
+            prev_on_counts=self._prev_on,
+        )
+        solution = self.solver.solve(problem)
+        self._prev_on = solution.action.on_counts(self.model.fleet)
+        return solution
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        brown = outcome.evaluation.brown_energy
+        self.queue.update(brown, outcome.offsite)
+        z = self.queue.rec_per_slot
+        self._frame_cost += outcome.evaluation.cost
+        self._frame_deficit += brown - self.alpha * outcome.offsite - z
+        self._frame_slots += 1
+
+    def name(self) -> str:
+        return "COCA"

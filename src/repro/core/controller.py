@@ -1,0 +1,69 @@
+"""Controller interface driven by the slot simulator.
+
+A controller sees, at the start of slot ``t``, exactly what the paper says
+COCA may see -- the (predicted) workload ``lambda(t)``, the on-site
+renewable supply ``r(t)``, and the electricity price ``w(t)`` -- and must
+commit a fleet action.  After the slot, it observes the realized outcome
+(including the off-site supply ``f(t)``, which COCA explicitly may *not*
+use when deciding) and may update internal state.  Offline baselines that
+legitimately use future information (OPT, the T-step lookahead, PerfectHP's
+48-hour predictions) receive it at :meth:`Controller.start` through the
+full environment, which is part of their definition, not a leak.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..solvers.base import SlotSolution
+from ..solvers.problem import SlotEvaluation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.environment import Environment
+
+__all__ = ["SlotObservation", "SlotOutcome", "Controller"]
+
+
+@dataclass(frozen=True)
+class SlotObservation:
+    """What a controller sees at the start of slot ``t``."""
+
+    t: int
+    arrival_rate: float  # predicted lambda(t), req/s
+    onsite: float  # r(t), MW
+    price: float  # w(t), $/MWh
+    network_delay: float = 0.0  # user <-> data center delay (section 2.3)
+    pue: float | None = None  # per-slot PUE override (time-varying PUE)
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What a controller learns at the end of slot ``t``."""
+
+    t: int
+    evaluation: SlotEvaluation  # realized costs/energies for the slot
+    offsite: float  # f(t), MWh, realized after the decision
+
+
+class Controller(ABC):
+    """Per-slot decision strategy."""
+
+    def start(self, environment: "Environment") -> None:
+        """Called once before the run.  Online controllers should only read
+        static configuration (horizon, budget constants); offline baselines
+        may precompute from the full traces -- that is their defining
+        privilege."""
+
+    @abstractmethod
+    def decide(self, observation: SlotObservation) -> SlotSolution:
+        """Commit the slot's capacity-provisioning and load-distribution
+        decision."""
+
+    def observe(self, outcome: SlotOutcome) -> None:
+        """End-of-slot feedback; default is stateless."""
+
+    def name(self) -> str:
+        """Identifier used in reports and tables."""
+        return type(self).__name__

@@ -1,0 +1,128 @@
+"""Cost-carbon parameter schedules ``V_0, V_1, ..., V_{R-1}`` (section 4.3).
+
+COCA's ``V`` trades operational cost against deviation from neutrality: a
+large ``V`` cares about cost (Theorem 2 part (b): O(1/V)-optimal), a small
+``V`` polices the deficit (part (a): the fudge factor grows with ``V``).
+Because the right value is workload-dependent and found "on a trial-and-
+error basis", COCA explicitly supports a *time-varying* ``V_r`` per frame of
+``T`` slots, resetting the deficit queue at frame boundaries so each frame's
+analysis decouples.
+
+Schedules here implement the experiments' needs: a constant ``V`` (Fig.
+2(a,b)), a quarterly schedule (Fig. 2(c,d)), and a feedback rule that raises
+``V`` when usage is comfortably under budget and lowers it when the deficit
+queue is persistently backed up -- the paper's "if the current cost is too
+high whereas the electricity usage is far below the allowed budget, the data
+center operator can increase the value of V" worked into an automatic rule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "VSchedule",
+    "ConstantV",
+    "FrameV",
+    "quarterly",
+    "AdaptiveV",
+]
+
+
+class VSchedule(ABC):
+    """Maps a frame index ``r`` to the cost-carbon parameter ``V_r``."""
+
+    @abstractmethod
+    def value(self, frame: int, *, feedback: "FrameFeedback | None" = None) -> float:
+        """``V_r`` for frame ``r``; adaptive schedules may consult the
+        previous frame's feedback."""
+
+
+@dataclass(frozen=True)
+class FrameFeedback:
+    """Summary of the frame that just ended, for adaptive schedules."""
+
+    average_cost: float
+    final_queue_length: float
+    average_deficit: float  # brown minus budget per slot, may be negative
+
+
+@dataclass(frozen=True)
+class ConstantV(VSchedule):
+    """The same ``V`` in every frame (Fig. 2(a,b))."""
+
+    v: float
+
+    def __post_init__(self) -> None:
+        if self.v <= 0:
+            raise ValueError("V must be positive")
+
+    def value(self, frame: int, *, feedback=None) -> float:
+        return self.v
+
+
+@dataclass(frozen=True)
+class FrameV(VSchedule):
+    """An explicit per-frame sequence; frames beyond the list reuse the
+    final entry."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values or any(v <= 0 for v in self.values):
+            raise ValueError("need a non-empty sequence of positive V values")
+
+    def value(self, frame: int, *, feedback=None) -> float:
+        if frame < 0:
+            raise ValueError("frame index must be non-negative")
+        return self.values[min(frame, len(self.values) - 1)]
+
+
+def quarterly(values: Sequence[float]) -> FrameV:
+    """Convenience for the paper's quarterly-varying experiment: four
+    ``V`` values, one per quarter (use with ``frame_length = J // 4``)."""
+    vals = tuple(float(v) for v in values)
+    if len(vals) != 4:
+        raise ValueError("quarterly schedule needs exactly 4 values")
+    return FrameV(vals)
+
+
+@dataclass
+class AdaptiveV(VSchedule):
+    """Multiplicative feedback rule on the frame deficit.
+
+    Starting from ``v0``, the parameter is multiplied by ``up`` after a
+    frame that finished under budget (average deficit below
+    ``-slack_threshold``) and by ``down`` after a frame that ended with a
+    backed-up queue (average deficit above ``+slack_threshold``), clamped to
+    ``[v_min, v_max]``.
+    """
+
+    v0: float
+    up: float = 1.5
+    down: float = 0.5
+    slack_threshold: float = 0.0
+    v_min: float = 1e-3
+    v_max: float = 1e9
+    _current: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.v0 <= 0 or self.up < 1.0 or not 0 < self.down <= 1.0:
+            raise ValueError("need v0 > 0, up >= 1, 0 < down <= 1")
+        if not 0 < self.v_min <= self.v0 <= self.v_max:
+            raise ValueError("need v_min <= v0 <= v_max")
+
+    def value(self, frame: int, *, feedback: FrameFeedback | None = None) -> float:
+        if frame == 0 or self._current is None:
+            self._current = self.v0
+            return self._current
+        if feedback is not None:
+            if feedback.average_deficit < -self.slack_threshold:
+                self._current = min(self._current * self.up, self.v_max)
+            elif feedback.average_deficit > self.slack_threshold:
+                self._current = max(self._current * self.down, self.v_min)
+        return self._current

@@ -1,0 +1,93 @@
+"""Renewable energy certificate (REC) accounting (paper section 2.2).
+
+RECs are tradable credits, not physical electricity: a data center buys
+``Z`` MWh-equivalent of certificates before the budgeting period and retires
+them against brown-energy draw.  COCA amortizes the prepurchased total
+evenly: each slot contributes ``z = alpha * Z / J`` to the carbon-deficit
+queue's service rate (Eq. (17)).
+
+:class:`RECAccount` tracks the prepurchase plus the paper's two
+end-of-period remarks: leftover budget "may be sold in carbon markets" when
+``alpha < 1`` leaves slack, and "data centers may purchase additional RECs
+at the end of a budgeting period to offset the remaining electricity usage"
+when the bounded deviation of Theorem 2 leaves a residual deficit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RECAccount"]
+
+
+@dataclass
+class RECAccount:
+    """Prepurchased RECs plus optional true-up bookkeeping.
+
+    Parameters
+    ----------
+    prepurchased:
+        ``Z`` in MWh, bought before the period at ``purchase_price``.
+    purchase_price:
+        $/MWh paid for the prepurchase (used only for reporting; the paper
+        treats the prepurchase as sunk and excludes it from operational
+        cost).
+    """
+
+    prepurchased: float
+    purchase_price: float = 0.0
+    _trueup: float = field(default=0.0, init=False, repr=False)
+    _trueup_cost: float = field(default=0.0, init=False, repr=False)
+    _sold: float = field(default=0.0, init=False, repr=False)
+    _sale_revenue: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.prepurchased < 0:
+            raise ValueError("prepurchased RECs must be non-negative")
+        if self.purchase_price < 0:
+            raise ValueError("purchase price must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """RECs available for offsetting: prepurchase + true-ups - sales."""
+        return self.prepurchased + self._trueup - self._sold
+
+    def per_slot(self, horizon: int, alpha: float = 1.0) -> float:
+        """The queue-dynamics constant ``z = alpha * Z / J`` (Eq. (17))."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        return alpha * self.prepurchased / horizon
+
+    def true_up(self, amount: float, price: float) -> float:
+        """Buy ``amount`` MWh of additional RECs at period end; returns the
+        dollar cost incurred."""
+        if amount < 0 or price < 0:
+            raise ValueError("true-up amount and price must be non-negative")
+        self._trueup += amount
+        cost = amount * price
+        self._trueup_cost += cost
+        return cost
+
+    def sell_surplus(self, amount: float, price: float) -> float:
+        """Sell ``amount`` MWh of unused budget; returns revenue.  Raises if
+        selling more than currently held."""
+        if amount < 0 or price < 0:
+            raise ValueError("sale amount and price must be non-negative")
+        if amount > self.total:
+            raise ValueError("cannot sell more RECs than held")
+        self._sold += amount
+        revenue = amount * price
+        self._sale_revenue += revenue
+        return revenue
+
+    @property
+    def trueup_cost(self) -> float:
+        """Total dollars spent on end-of-period true-ups."""
+        return self._trueup_cost
+
+    @property
+    def sale_revenue(self) -> float:
+        """Total dollars earned selling surplus budget."""
+        return self._sale_revenue

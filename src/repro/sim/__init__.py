@@ -1,0 +1,17 @@
+"""Simulation layer: environment, slot engine, metrics, event substrate."""
+
+from .engine import realize_action, simulate
+from .environment import Environment
+from .events import PSQueueStats, empirical_delay_sum, simulate_ps_queue
+from .metrics import RunSummary, SimulationRecord
+
+__all__ = [
+    "Environment",
+    "simulate",
+    "realize_action",
+    "SimulationRecord",
+    "RunSummary",
+    "PSQueueStats",
+    "simulate_ps_queue",
+    "empirical_delay_sum",
+]

@@ -1,0 +1,162 @@
+"""The slot-driven simulator.
+
+Runs a :class:`~repro.core.controller.Controller` over an
+:class:`~repro.sim.environment.Environment` one slot at a time, exactly
+mirroring the paper's information structure:
+
+1. at the start of slot ``t`` the controller sees (predicted workload,
+   on-site renewables, price) and commits a fleet action;
+2. the *actual* workload arrives and is served by the committed
+   configuration -- when prediction and reality differ, per-server loads are
+   rescaled proportionally onto the committed speeds, clipped at the
+   utilization cap (any residual is recorded as dropped load, which never
+   occurs under the paper's overestimation regime ``phi >= 1``);
+3. realized power, costs, brown energy, and switching energy are billed;
+4. the controller observes the outcome, including the off-site supply
+   ``f(t)`` realized only now (COCA updates its deficit queue here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.fleet import FleetAction
+from ..core.config import DataCenterModel
+from ..core.controller import Controller, SlotOutcome
+from .environment import Environment
+from .metrics import SimulationRecord
+
+__all__ = ["simulate", "realize_action"]
+
+
+def realize_action(
+    model: DataCenterModel,
+    action: FleetAction,
+    actual_arrival: float,
+    planned_arrival: float,
+) -> tuple[FleetAction, float]:
+    """Map a planned action onto the realized arrival rate.
+
+    Returns ``(realized_action, dropped_load)``.  Loads scale by
+    ``actual / planned`` on the committed speeds; scaling *up* is capped at
+    ``gamma * speed`` per server, and load that cannot be placed is dropped
+    (recorded, so experiments can verify it stays zero).
+    """
+    fleet = model.fleet
+    on = action.levels >= 0
+    if actual_arrival <= 0.0:
+        return FleetAction(action.levels, np.zeros(fleet.num_groups)), 0.0
+
+    speeds = fleet.group_speeds(action.levels)
+    caps = np.where(on, model.gamma * speeds, 0.0)
+    if planned_arrival > 0.0 and action.served_load(fleet) > 0.0:
+        scaled = action.per_server_load * (actual_arrival / planned_arrival)
+    else:
+        # Nothing was planned; spread over whatever is on, pro rata to capacity.
+        total_cap = float(np.sum(fleet.counts * caps))
+        if total_cap <= 0.0:
+            return FleetAction(action.levels, np.zeros(fleet.num_groups)), actual_arrival
+        scaled = caps * min(actual_arrival / total_cap, 1.0)
+
+    clipped = np.minimum(scaled, caps)
+    served = float(np.sum(fleet.counts * clipped))
+    shortfall = actual_arrival - served
+    if shortfall > 1e-9 * max(actual_arrival, 1.0):
+        # Push the excess onto servers with headroom, pro rata.
+        headroom = fleet.counts * (caps - clipped)
+        total_head = float(headroom.sum())
+        take = min(shortfall, total_head)
+        if total_head > 0.0:
+            clipped = clipped + np.where(
+                fleet.counts > 0, take * (headroom / max(total_head, 1e-300)) / np.maximum(fleet.counts, 1.0), 0.0
+            )
+            served += take
+            shortfall -= take
+    # Shortfalls below solver tolerance are floating-point residue of the
+    # load-balance bisection, not real drops.
+    dropped = shortfall if shortfall > 1e-9 * max(actual_arrival, 1.0) else 0.0
+    return FleetAction(action.levels, clipped), dropped
+
+
+def simulate(
+    model: DataCenterModel,
+    controller: Controller,
+    environment: Environment,
+) -> SimulationRecord:
+    """Run ``controller`` over the full budgeting period.
+
+    Returns the :class:`SimulationRecord` with every per-slot outcome; the
+    controller's own diagnostics (deficit queue, applied ``V``) are attached
+    when the controller exposes ``queue_at_decision`` / ``v_history``.
+    """
+    J = environment.horizon
+    controller.start(environment)
+
+    cols: dict[str, list[float]] = {
+        name: []
+        for name in (
+            "it_power",
+            "facility_power",
+            "brown_energy",
+            "electricity_cost",
+            "delay_cost",
+            "cost",
+            "switching_energy",
+            "arrival_predicted",
+            "arrival_actual",
+            "served",
+            "dropped",
+            "active_servers",
+        )
+    }
+    prev_on: np.ndarray | None = None
+
+    for t in range(J):
+        obs = environment.observation(t)
+        solution = controller.decide(obs)
+        actual = environment.actual_arrival(t)
+        realized, dropped = realize_action(
+            model, solution.action, actual, obs.arrival_rate
+        )
+        realized_problem = model.slot_problem(
+            arrival_rate=actual,
+            onsite=obs.onsite,
+            price=obs.price,
+            q=0.0,
+            V=1.0,
+            prev_on_counts=prev_on,
+            network_delay=obs.network_delay,
+            pue_override=obs.pue,
+        )
+        evaluation = realized_problem.evaluate(realized)
+        prev_on = realized.on_counts(model.fleet)
+
+        controller.observe(
+            SlotOutcome(t=t, evaluation=evaluation, offsite=environment.offsite(t))
+        )
+
+        cols["it_power"].append(evaluation.it_power)
+        cols["facility_power"].append(evaluation.facility_power)
+        cols["brown_energy"].append(evaluation.brown_energy)
+        cols["electricity_cost"].append(evaluation.electricity_cost)
+        cols["delay_cost"].append(evaluation.delay_cost)
+        cols["cost"].append(evaluation.cost)
+        cols["switching_energy"].append(evaluation.switching_energy)
+        cols["arrival_predicted"].append(obs.arrival_rate)
+        cols["arrival_actual"].append(actual)
+        cols["served"].append(realized.served_load(model.fleet))
+        cols["dropped"].append(dropped)
+        cols["active_servers"].append(realized.active_servers(model.fleet))
+
+    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in cols.items()}
+    queue = np.asarray(getattr(controller, "queue_at_decision", []), dtype=np.float64)
+    v_applied = np.asarray(getattr(controller, "v_history", []), dtype=np.float64)
+    return SimulationRecord(
+        controller=controller.name(),
+        onsite=environment.portfolio.onsite.values.copy(),
+        offsite=environment.portfolio.offsite.values.copy(),
+        price=environment.price.values.copy(),
+        queue=queue,
+        v_applied=v_applied,
+        **arrays,
+    )

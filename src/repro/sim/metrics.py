@@ -1,0 +1,181 @@
+"""Per-run records and summaries.
+
+:class:`SimulationRecord` holds every per-slot quantity a figure in the
+paper needs -- costs split into electricity and delay, brown energy, served
+and dropped load, switching energy, the deficit queue, and the applied ``V``
+-- plus the derived series used by the plots: running averages (Fig. 3's
+"summing up all the values from time 0 to time t and dividing by t + 1")
+and 45-day trailing moving averages (Fig. 2(c,d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..energy.carbon import CarbonLedger
+from ..energy.renewables import RenewablePortfolio
+
+__all__ = ["SimulationRecord", "RunSummary"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline numbers of one run (all per-slot values are hourly)."""
+
+    controller: str
+    horizon: int
+    average_cost: float
+    average_electricity_cost: float
+    average_delay_cost: float
+    total_brown: float
+    average_deficit: float
+    is_neutral: bool
+    dropped_load: float
+    average_active_servers: float
+    total_switching_energy: float
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "controller": self.controller,
+            "avg cost [$/h]": self.average_cost,
+            "avg elec [$/h]": self.average_electricity_cost,
+            "avg delay [$/h]": self.average_delay_cost,
+            "brown [MWh]": self.total_brown,
+            "avg deficit [MWh/h]": self.average_deficit,
+            "neutral": self.is_neutral,
+        }
+
+
+@dataclass
+class SimulationRecord:
+    """Arrays of per-slot outcomes for one controller run.
+
+    All arrays share the horizon length.  Monetary values are $ per slot,
+    energies MWh per slot, rates req/s.
+    """
+
+    controller: str
+    it_power: np.ndarray
+    facility_power: np.ndarray
+    brown_energy: np.ndarray
+    electricity_cost: np.ndarray
+    delay_cost: np.ndarray
+    cost: np.ndarray
+    switching_energy: np.ndarray
+    arrival_predicted: np.ndarray
+    arrival_actual: np.ndarray
+    served: np.ndarray
+    dropped: np.ndarray
+    active_servers: np.ndarray
+    onsite: np.ndarray
+    offsite: np.ndarray
+    price: np.ndarray
+    queue: np.ndarray = field(default_factory=lambda: np.empty(0))
+    v_applied: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        n = self.horizon
+        for name in (
+            "facility_power",
+            "brown_energy",
+            "electricity_cost",
+            "delay_cost",
+            "cost",
+            "switching_energy",
+            "arrival_predicted",
+            "arrival_actual",
+            "served",
+            "dropped",
+            "active_servers",
+            "onsite",
+            "offsite",
+            "price",
+        ):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"array {name!r} length mismatch")
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Number of slots recorded."""
+        return len(self.it_power)
+
+    @property
+    def average_cost(self) -> float:
+        """The paper's objective ``g_bar``: mean hourly operational cost."""
+        return float(self.cost.mean())
+
+    @property
+    def total_brown(self) -> float:
+        """Total brown energy drawn (MWh)."""
+        return float(self.brown_energy.sum())
+
+    def deficit_series(self, portfolio: RenewablePortfolio, alpha: float = 1.0) -> np.ndarray:
+        """Per-slot carbon deficit ``y(t) - alpha f(t) - z`` (MWh); negative
+        when the budget out-supplies usage that slot."""
+        z = alpha * portfolio.recs / portfolio.horizon
+        return self.brown_energy - alpha * portfolio.offsite.values - z
+
+    def average_deficit(self, portfolio: RenewablePortfolio, alpha: float = 1.0) -> float:
+        """Mean hourly carbon deficit (Fig. 2(b) / Fig. 3(b) y-axis)."""
+        return float(self.deficit_series(portfolio, alpha).mean())
+
+    def ledger(self, portfolio: RenewablePortfolio, alpha: float = 1.0) -> CarbonLedger:
+        """A fully-populated :class:`CarbonLedger` for the run."""
+        ledger = CarbonLedger(portfolio=portfolio, alpha=alpha)
+        for y in self.brown_energy:
+            ledger.record(float(y))
+        return ledger
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _running_average(series: np.ndarray) -> np.ndarray:
+        return np.cumsum(series) / np.arange(1, series.size + 1)
+
+    @staticmethod
+    def _moving_average(series: np.ndarray, window: int) -> np.ndarray:
+        csum = np.concatenate(([0.0], np.cumsum(series)))
+        t = np.arange(series.size)
+        lo = np.maximum(t - window + 1, 0)
+        return (csum[t + 1] - csum[lo]) / (t - lo + 1)
+
+    def running_average_cost(self) -> np.ndarray:
+        """Fig. 3(a) series: running average of hourly cost."""
+        return self._running_average(self.cost)
+
+    def running_average_deficit(
+        self, portfolio: RenewablePortfolio, alpha: float = 1.0
+    ) -> np.ndarray:
+        """Fig. 3(b) series: running average of the hourly carbon deficit."""
+        return self._running_average(self.deficit_series(portfolio, alpha))
+
+    def moving_average_cost(self, window: int = 45 * 24) -> np.ndarray:
+        """Fig. 2(c) series: 45-day trailing moving average of hourly cost."""
+        return self._moving_average(self.cost, window)
+
+    def moving_average_deficit(
+        self, portfolio: RenewablePortfolio, alpha: float = 1.0, window: int = 45 * 24
+    ) -> np.ndarray:
+        """Fig. 2(d) series: 45-day trailing moving average of the deficit."""
+        return self._moving_average(self.deficit_series(portfolio, alpha), window)
+
+    # ------------------------------------------------------------------
+    def summary(self, portfolio: RenewablePortfolio, alpha: float = 1.0) -> RunSummary:
+        """Headline numbers for tables."""
+        ledger = self.ledger(portfolio, alpha)
+        return RunSummary(
+            controller=self.controller,
+            horizon=self.horizon,
+            average_cost=self.average_cost,
+            average_electricity_cost=float(self.electricity_cost.mean()),
+            average_delay_cost=float(self.delay_cost.mean()),
+            total_brown=self.total_brown,
+            average_deficit=self.average_deficit(portfolio, alpha),
+            is_neutral=ledger.is_neutral(),
+            dropped_load=float(self.dropped.sum()),
+            average_active_servers=float(self.active_servers.mean()),
+            total_switching_energy=float(self.switching_energy.sum()),
+        )

@@ -1,0 +1,39 @@
+"""P3 solver engines: problem definition, load distribution, and search."""
+
+from .base import SlotSolution, SlotSolver
+from .brute_force import BruteForceSolver
+from .convex import CoordinateDescentSolver, initial_levels
+from .enumeration import HomogeneousEnumerationSolver
+from .gsd import GSDSolver, GSDTrace, geometric_temperature
+from .load_distribution import LoadDistribution, distribute_load, solve_fixed_levels
+from .messaging import (
+    DistributedGSD,
+    DualLoadCoordinator,
+    Message,
+    MessageBus,
+    ServerAgent,
+)
+from .problem import InfeasibleError, SlotEvaluation, SlotProblem
+
+__all__ = [
+    "SlotProblem",
+    "SlotEvaluation",
+    "InfeasibleError",
+    "SlotSolution",
+    "SlotSolver",
+    "LoadDistribution",
+    "distribute_load",
+    "solve_fixed_levels",
+    "HomogeneousEnumerationSolver",
+    "CoordinateDescentSolver",
+    "initial_levels",
+    "GSDSolver",
+    "GSDTrace",
+    "geometric_temperature",
+    "BruteForceSolver",
+    "DistributedGSD",
+    "DualLoadCoordinator",
+    "MessageBus",
+    "Message",
+    "ServerAgent",
+]

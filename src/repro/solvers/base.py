@@ -1,0 +1,64 @@
+"""Solver interface for the one-slot problem P3.
+
+COCA is agnostic to how P3 is solved each slot ("solving P3 is *not*
+restricted to using the presented GSD. Instead, other alternative algorithms
+can also be applied" -- section 4.2).  All engines implement
+:class:`SlotSolver` and return a :class:`SlotSolution`; the controller, the
+baselines, and the benchmarks pick whichever engine fits the fleet:
+
+===========================  =======================================================
+Engine                       Use case
+===========================  =======================================================
+HomogeneousEnumerationSolver exact & fast for single-profile fleets (year-long runs)
+CoordinateDescentSolver      deterministic local search for heterogeneous fleets
+GSDSolver                    the paper's distributed Gibbs sampler (Algorithm 2)
+BruteForceSolver             exhaustive oracle for small instances (tests)
+===========================  =======================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cluster.fleet import FleetAction
+from .problem import SlotEvaluation, SlotProblem
+
+__all__ = ["SlotSolution", "SlotSolver"]
+
+
+@dataclass(frozen=True)
+class SlotSolution:
+    """An action together with its evaluation and solver diagnostics."""
+
+    action: FleetAction
+    evaluation: SlotEvaluation
+    info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def objective(self) -> float:
+        """P3 objective value ``V g + q y`` of the chosen action."""
+        return self.evaluation.objective
+
+    @property
+    def cost(self) -> float:
+        """Operational cost ``g`` of the chosen action."""
+        return self.evaluation.cost
+
+
+class SlotSolver(ABC):
+    """Strategy interface: minimize Eq. (16) subject to (7)-(9)."""
+
+    @abstractmethod
+    def solve(self, problem: SlotProblem) -> SlotSolution:
+        """Return a (near-)minimizer of the slot problem.
+
+        Implementations must raise
+        :class:`~repro.solvers.problem.InfeasibleError` when no feasible
+        action exists (workload above capped capacity).
+        """
+
+    def name(self) -> str:
+        """Short identifier for reports."""
+        return type(self).__name__

@@ -1,0 +1,83 @@
+"""Exhaustive P3 oracle for small instances.
+
+Enumerates every speed configuration in ``prod_g (K_g + 1)`` (each group may
+be off or at any of its levels), solves the convex load-distribution
+subproblem exactly for each, and returns the global minimizer.  This is the
+test oracle against which GSD (Theorem 1 says it converges here as
+``delta -> infinity``), coordinate descent, and the homogeneous enumeration
+engine are validated; the configuration count is guarded so it cannot be
+unleashed on the 200-group fleet by accident.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from ..cluster.fleet import FleetAction
+from .base import SlotSolution, SlotSolver
+from .load_distribution import distribute_load
+from .problem import InfeasibleError, SlotProblem
+
+__all__ = ["BruteForceSolver"]
+
+
+class BruteForceSolver(SlotSolver):
+    """Exact exhaustive search (test oracle).
+
+    Parameters
+    ----------
+    max_configs:
+        Safety cap on the number of configurations enumerated.
+    """
+
+    def __init__(self, *, max_configs: int = 200_000):
+        if max_configs < 1:
+            raise ValueError("max_configs must be positive")
+        self.max_configs = max_configs
+
+    def config_count(self, problem: SlotProblem) -> int:
+        """Size of the configuration space ``prod_g (K_g + 1)``."""
+        return int(np.prod(problem.fleet.num_levels + 1))
+
+    def solve(self, problem: SlotProblem) -> SlotSolution:
+        problem.check_feasible()
+        fleet = problem.fleet
+        total = self.config_count(problem)
+        if total > self.max_configs:
+            raise ValueError(
+                f"{total} configurations exceed the brute-force cap "
+                f"{self.max_configs}; use another solver"
+            )
+
+        best_obj = np.inf
+        best_levels: np.ndarray | None = None
+        best_loads: np.ndarray | None = None
+        evaluated = 0
+        ranges = [range(-1, int(k)) for k in fleet.num_levels]
+        for combo in product(*ranges):
+            levels = np.asarray(combo, dtype=np.int64)
+            try:
+                dist = distribute_load(problem, levels)
+            except InfeasibleError:
+                continue
+            evaluated += 1
+            action = FleetAction(levels=levels, per_server_load=dist.per_server_load)
+            evaluation = problem.evaluate(action)
+            if problem.violates_caps(evaluation):
+                continue
+            obj = evaluation.objective
+            if obj < best_obj:
+                best_obj = obj
+                best_levels = levels
+                best_loads = dist.per_server_load
+
+        if best_levels is None:
+            raise InfeasibleError("no feasible configuration exists for this slot")
+        action = FleetAction(levels=best_levels, per_server_load=best_loads)
+        return SlotSolution(
+            action=action,
+            evaluation=problem.evaluate(action),
+            info={"configs_total": total, "configs_feasible": evaluated},
+        )

@@ -1,0 +1,231 @@
+"""Optimal load distribution for fixed speeds (GSD line 3, Eq. (18)).
+
+With the speed vector fixed, P3 reduces to a *convex* program in the load
+distribution: minimize
+
+    We * [ P_static + sum_g n_g c_g l_g  (x PUE) - r ]^+  +  Wd * sum_g n_g d(l_g, x_g)
+
+over per-server loads ``l_g`` with ``sum_g n_g l_g = lambda`` and
+``0 <= l_g <= gamma x_g``, where ``We = V w + q`` prices brown energy, ``Wd
+= V beta kappa`` prices delay, ``c_g`` is the dynamic-power coefficient and
+``d`` the per-server delay-cost model.  The paper solves this distributedly
+by dual decomposition (references [5, 27]); the KKT conditions give a
+water-filling characterization:
+
+    l_g(nu) = clip( d^{-1}'( (nu - We PUE c_g) / Wd ), 0, gamma x_g )
+
+with the dual variable ``nu`` (price per unit of served load) set by
+bisection so the loads sum to ``lambda``.  The ``[.]^+`` kink is resolved by
+regime analysis: solve with the full electricity weight (regime *billed*),
+with zero weight (regime *free*, when renewables cover everything), and,
+when the two disagree, bisect the weight so facility power meets the
+renewable supply exactly (regime *boundary*) -- the KKT multiplier of the
+constraint ``P <= r``.
+
+Everything is vectorized across groups; the per-slot cost is ~100 bisection
+steps of O(G) array work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.fleet import Fleet, FleetAction
+from ..cluster.power import LinearTariff
+from .problem import InfeasibleError, SlotProblem
+
+__all__ = ["LoadDistribution", "distribute_load", "solve_fixed_levels"]
+
+#: Relative bisection tolerance on the served-load balance.
+_BALANCE_RTOL = 1e-12
+_NU_ITERS = 100
+_MU_ITERS = 60
+
+
+@dataclass(frozen=True)
+class LoadDistribution:
+    """Result of a fixed-speed load-distribution solve.
+
+    Attributes
+    ----------
+    per_server_load:
+        Length-``G`` array (zeros for off groups).
+    nu:
+        Final dual variable (marginal objective per unit of served load).
+    regime:
+        ``"billed"`` (power exceeds renewables, full electricity weight),
+        ``"free"`` (renewables cover everything), or ``"boundary"``
+        (facility power pinned at the renewable supply).
+    electricity_weight:
+        The effective $/MWh weight the solution was computed with.
+    """
+
+    per_server_load: np.ndarray
+    nu: float
+    regime: str
+    electricity_weight: float
+
+
+def _fill_when_delay_free(
+    lam: float, weights: np.ndarray, caps: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Degenerate case ``Wd == 0``: objective is linear in loads, so fill
+    groups to their caps in ascending order of per-request electricity
+    weight (ties broken by index)."""
+    order = np.argsort(weights, kind="stable")
+    loads = np.zeros_like(caps)
+    remaining = lam
+    for g in order:
+        take = min(remaining, caps[g] * counts[g])
+        loads[g] = take / counts[g]
+        remaining -= take
+        if remaining <= 0:
+            break
+    if remaining > 1e-9 * max(lam, 1.0):
+        raise InfeasibleError("load exceeds capped capacity of the on-set")
+    return loads
+
+
+def _waterfill(
+    problem: SlotProblem,
+    lam: float,
+    we: float,
+    x: np.ndarray,
+    c: np.ndarray,
+    n: np.ndarray,
+) -> tuple[np.ndarray, float]:
+    """Water-filling for a fixed electricity weight ``we`` ($/MWh brown).
+
+    Returns (per-server loads over the on-set, dual variable nu).
+    """
+    dm = problem.delay_model
+    wd = problem.V * problem.delay_weight
+    pue = problem.pue
+    caps = problem.gamma * x
+    elec_marginal = we * pue * c  # $ per (req/s) routed to each group
+
+    if wd <= 0.0:
+        return _fill_when_delay_free(lam, elec_marginal, caps, n), float(
+            elec_marginal.min(initial=0.0)
+        )
+
+    def loads_at(nu: float) -> np.ndarray:
+        m = (nu - elec_marginal) / wd
+        lam_g = np.where(m > 0, dm.load_at_marginal(np.maximum(m, 1e-300), x), 0.0)
+        return np.clip(lam_g, 0.0, caps)
+
+    def served(nu: float) -> float:
+        return float(np.sum(n * loads_at(nu)))
+
+    lo = float(np.min(elec_marginal + wd * dm.marginal(np.zeros_like(x), x)))
+    hi = max(lo, float(np.max(elec_marginal + wd * dm.marginal(caps, x)))) + 1.0
+    while served(hi) < lam:
+        hi = 2.0 * hi + 1.0
+        if hi > 1e300:
+            raise InfeasibleError("load exceeds capped capacity of the on-set")
+
+    for _ in range(_NU_ITERS):
+        mid = 0.5 * (lo + hi)
+        if served(mid) < lam:
+            lo = mid
+        else:
+            hi = mid
+    loads = loads_at(hi)
+
+    # Close the residual balance exactly on groups strictly inside their box.
+    residual = lam - float(np.sum(n * loads))
+    interior = (loads > 0.0) & (loads < caps) if residual < 0 else (loads < caps)
+    weight = float(np.sum(n[interior]))
+    if weight > 0.0:
+        loads = loads.copy()
+        loads[interior] = np.clip(loads[interior] + residual / weight, 0.0, caps[interior])
+    return loads, hi
+
+
+def distribute_load(problem: SlotProblem, levels: np.ndarray) -> LoadDistribution:
+    """Solve the load-distribution subproblem for a fixed level vector.
+
+    Parameters
+    ----------
+    problem:
+        The slot's P3 instance.
+    levels:
+        Per-group speed levels (``-1`` = off).
+
+    Raises
+    ------
+    InfeasibleError
+        If the on-set cannot serve ``lambda`` within the utilization cap.
+    """
+    fleet = problem.fleet
+    levels = np.asarray(levels, dtype=np.int64)
+    lam = problem.arrival_rate
+    on = np.nonzero(levels >= 0)[0]
+    full = np.zeros(fleet.num_groups)
+
+    if lam <= 0.0:
+        return LoadDistribution(full, 0.0, "free", 0.0)
+    if on.size == 0:
+        raise InfeasibleError("positive workload but every group is off")
+
+    x = fleet.speed_table[on, levels[on]]
+    c = fleet.dyn_coeff[on, levels[on]]
+    n = fleet.counts[on]
+    if lam > problem.gamma * float(np.sum(n * x)) * (1.0 + 1e-12):
+        raise InfeasibleError("load exceeds capped capacity of the on-set")
+
+    pue = problem.pue
+    static_it = float(np.sum(n * fleet.static_power[on]))
+
+    def facility(loads: np.ndarray) -> float:
+        return pue * (static_it + float(np.sum(n * c * loads)))
+
+    def weight_full(brown_guess: float) -> float:
+        return problem.V * problem.tariff.marginal(brown_guess, problem.price) + problem.q
+
+    # Regime "billed": full electricity weight (fixed-point on the tariff
+    # marginal for nonlinear tariffs; exact in one pass for LinearTariff).
+    we = weight_full(0.0)
+    for _ in range(1 if isinstance(problem.tariff, LinearTariff) else 3):
+        loads_a, nu_a = _waterfill(problem, lam, we, x, c, n)
+        brown = max(facility(loads_a) - problem.onsite, 0.0)
+        new_we = weight_full(brown)
+        if abs(new_we - we) <= 1e-12 * max(we, 1.0):
+            break
+        we = new_we
+    if facility(loads_a) >= problem.onsite * (1.0 - 1e-12):
+        full[on] = loads_a
+        return LoadDistribution(full, nu_a, "billed", we)
+
+    # Regime "free": renewables may cover everything -> zero weight.
+    loads_b, nu_b = _waterfill(problem, lam, 0.0, x, c, n)
+    if facility(loads_b) <= problem.onsite * (1.0 + 1e-12):
+        full[on] = loads_b
+        return LoadDistribution(full, nu_b, "free", 0.0)
+
+    # Regime "boundary": power pinned at the renewable supply; bisect the
+    # multiplier mu in (0, we) so that facility power == onsite supply.
+    lo_mu, hi_mu = 0.0, we
+    loads_m, nu_m = loads_b, nu_b
+    for _ in range(_MU_ITERS):
+        mu = 0.5 * (lo_mu + hi_mu)
+        loads_m, nu_m = _waterfill(problem, lam, mu, x, c, n)
+        if facility(loads_m) > problem.onsite:
+            lo_mu = mu
+        else:
+            hi_mu = mu
+    full[on] = loads_m
+    return LoadDistribution(full, nu_m, "boundary", 0.5 * (lo_mu + hi_mu))
+
+
+def solve_fixed_levels(problem: SlotProblem, levels: np.ndarray):
+    """Convenience: distribute load for ``levels`` and return the resulting
+    ``(FleetAction, SlotEvaluation)`` pair."""
+    dist = distribute_load(problem, levels)
+    action = FleetAction(
+        levels=np.asarray(levels, dtype=np.int64),
+        per_server_load=dist.per_server_load,
+    )
+    return action, problem.evaluate(action)

@@ -1,0 +1,386 @@
+"""Simulated message-passing substrate for distributed execution.
+
+The paper's headline feature is *distributed* server-level resource
+management: "each server autonomously adjusts its processing speed and
+optimally decides the amount of workloads to process", with servers
+communicating decisions to each other (or through a coordinating node, the
+"semi-distributed" variant, section 4.2).  The vectorized solvers elsewhere
+in this package compute the same mathematics centrally for speed; this
+module makes the distributed protocol itself concrete:
+
+* :class:`MessageBus` -- an in-process, instrumented message fabric
+  (deliveries, per-kind counters) standing in for the data center network.
+* :class:`ServerAgent` -- one autonomous group of homogeneous servers.  An
+  agent knows *only its own* profile (speed set, power curve) plus whatever
+  the coordinator broadcasts; its replies are computed purely from local
+  state, mirroring what would run on each machine.
+* :class:`DualLoadCoordinator` -- the dual-decomposition load-distribution
+  protocol of GSD line 3 (paper references [5, 27]): the coordinator
+  broadcasts a price ``nu`` (and an electricity weight for the ``[.]^+``
+  regime), each agent answers with its best-response load and power, and
+  the coordinator bisects until supply meets demand.
+* :class:`DistributedGSD` -- Algorithm 2 end to end over the bus: a random
+  agent explores a speed, the coordinator prices the explored configuration
+  via the dual protocol, and the accept/revert outcome is broadcast.
+
+Tests verify the protocol reproduces the centralized water-filling solution
+to numerical tolerance, and the message counters document the communication
+complexity (O(G) messages per bisection round).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..cluster.fleet import Fleet, FleetAction
+from .base import SlotSolution, SlotSolver
+from .problem import InfeasibleError, SlotProblem
+
+__all__ = ["Message", "MessageBus", "ServerAgent", "DualLoadCoordinator", "DistributedGSD"]
+
+#: Bisection rounds used by the coordinator (matches the centralized solver).
+_NU_ROUNDS = 100
+_MU_ROUNDS = 60
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the fabric."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class MessageBus:
+    """Instrumented point-to-point + broadcast fabric."""
+
+    def __init__(self) -> None:
+        self.delivered: int = 0
+        self.by_kind: Counter[str] = Counter()
+        self._agents: dict[str, "ServerAgent"] = {}
+
+    def register(self, agent: "ServerAgent") -> None:
+        """Attach an agent under its unique name."""
+        if agent.name in self._agents:
+            raise ValueError(f"duplicate agent name {agent.name!r}")
+        self._agents[agent.name] = agent
+
+    @property
+    def agent_names(self) -> list[str]:
+        """Names of registered agents, in registration order."""
+        return list(self._agents)
+
+    def send(self, message: Message) -> Message | None:
+        """Deliver one message; returns the recipient's reply, if any."""
+        agent = self._agents.get(message.recipient)
+        if agent is None:
+            raise KeyError(f"unknown recipient {message.recipient!r}")
+        self.delivered += 1
+        self.by_kind[message.kind] += 1
+        return agent.handle(message)
+
+    def broadcast(self, sender: str, kind: str, payload: dict[str, Any]) -> list[Message]:
+        """Deliver to every agent; returns the non-None replies."""
+        replies = []
+        for name in self._agents:
+            reply = self.send(Message(sender, name, kind, payload))
+            if reply is not None:
+                replies.append(reply)
+        return replies
+
+
+class ServerAgent:
+    """One autonomous server group.
+
+    The agent's knowledge is local: its own speed set, power curve, server
+    count, and utilization cap.  Broadcast parameters (delay weight, PUE)
+    arrive via ``configure``.
+    """
+
+    def __init__(self, name: str, fleet: Fleet, group_index: int):
+        self.name = name
+        g = fleet.groups[group_index]
+        self.group_index = group_index
+        self.count = float(g.count)
+        self.speeds = g.profile.speeds
+        self.dyn_coeff = g.profile.energy_per_request
+        self.static_power = g.profile.static_power
+        self.num_levels = g.profile.num_speeds
+        # Mutable local state
+        self.level: int = self.num_levels - 1
+        self.explored_level: int = self.level
+        self.load: float = 0.0
+        self._gamma = 0.95
+        self._delay_weight = 0.0
+        self._pue = 1.0
+        self._delay_model = None
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: Message) -> Message | None:
+        """Dispatch on message kind; see module docstring for the protocol."""
+        handler = getattr(self, f"_on_{msg.kind.replace('-', '_')}", None)
+        if handler is None:
+            raise ValueError(f"{self.name}: unknown message kind {msg.kind!r}")
+        return handler(msg)
+
+    def _reply(self, msg: Message, kind: str, **payload: Any) -> Message:
+        return Message(self.name, msg.sender, kind, payload)
+
+    # -- protocol handlers ---------------------------------------------
+    def _on_configure(self, msg: Message) -> None:
+        p = msg.payload
+        self._gamma = p["gamma"]
+        self._delay_weight = p["delay_weight"]  # V * beta * kappa
+        self._pue = p["pue"]
+        self._delay_model = p["delay_model"]
+        return None
+
+    def _on_set_level(self, msg: Message) -> None:
+        self.level = int(msg.payload["level"])
+        self.explored_level = self.level
+        return None
+
+    def _on_explore(self, msg: Message) -> Message:
+        """The update token (Algorithm 2 line 7): draw a random speed."""
+        rng: np.random.Generator = msg.payload["rng"]
+        self.explored_level = int(rng.integers(-1, self.num_levels))
+        return self._reply(msg, "explored", level=self.explored_level)
+
+    def _on_decide(self, msg: Message) -> None:
+        """Accept/revert broadcast (Algorithm 2 line 5)."""
+        if msg.payload["accept"]:
+            self.level = self.explored_level
+        else:
+            self.explored_level = self.level
+        return None
+
+    def _price_response(self, nu: float, we: float, level: int) -> tuple[float, float]:
+        """Local best-response load (aggregate req/s) and dynamic IT power
+        (MW) at dual price ``nu`` with electricity weight ``we`` ($/MWh)."""
+        if level < 0:
+            return 0.0, 0.0
+        x = float(self.speeds[level])
+        c = float(self.dyn_coeff[level])
+        cap = self._gamma * x
+        wd = self._delay_weight
+        marginal_room = nu - we * self._pue * c
+        if wd <= 0.0:
+            lam = cap if marginal_room > 0 else 0.0
+        elif marginal_room <= 0.0:
+            lam = 0.0
+        else:
+            lam = float(
+                np.clip(
+                    self._delay_model.load_at_marginal(marginal_room / wd, x),
+                    0.0,
+                    cap,
+                )
+            )
+        return self.count * lam, self.count * c * lam
+
+    def _on_price(self, msg: Message) -> Message:
+        served, dyn_power = self._price_response(
+            msg.payload["nu"], msg.payload["we"], self._active_level(msg)
+        )
+        static = self.count * self.static_power if self._active_level(msg) >= 0 else 0.0
+        return self._reply(msg, "response", served=served, power=dyn_power + static)
+
+    def _on_commit(self, msg: Message) -> None:
+        served, _ = self._price_response(
+            msg.payload["nu"], msg.payload["we"], self._active_level(msg)
+        )
+        self.load = served / self.count
+        return None
+
+    def _active_level(self, msg: Message) -> int:
+        return self.explored_level if msg.payload.get("explored", False) else self.level
+
+
+class DualLoadCoordinator:
+    """Semi-distributed dual-decomposition load distribution (GSD line 3).
+
+    The coordinator knows the slot's aggregate quantities (total workload,
+    renewable supply, price, deficit weight) but not any server's power
+    curve; all per-group information arrives through price responses.
+    """
+
+    def __init__(self, bus: MessageBus, name: str = "coordinator"):
+        self.bus = bus
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def configure(self, problem: SlotProblem) -> None:
+        """Broadcast the slot's shared parameters."""
+        self.bus.broadcast(
+            self.name,
+            "configure",
+            {
+                "gamma": problem.gamma,
+                "delay_weight": problem.V * problem.delay_weight,
+                "pue": problem.pue,
+                "delay_model": problem.delay_model,
+            },
+        )
+
+    def _round(self, nu: float, we: float, explored: bool) -> tuple[float, float]:
+        replies = self.bus.broadcast(
+            self.name, "price", {"nu": nu, "we": we, "explored": explored}
+        )
+        served = sum(r.payload["served"] for r in replies)
+        power = sum(r.payload["power"] for r in replies)
+        return served, power
+
+    def _bisect_nu(
+        self, lam: float, we: float, explored: bool
+    ) -> tuple[float, float]:
+        """Find nu with aggregate served load = lam; returns (nu, facility
+        dynamic+static IT power in MW, pre-PUE)."""
+        lo, hi = 0.0, 1.0
+        while self._round(hi, we, explored)[0] < lam:
+            hi *= 2.0
+            if hi > 1e300:
+                raise InfeasibleError("explored on-set cannot serve the workload")
+        for _ in range(_NU_ROUNDS):
+            mid = 0.5 * (lo + hi)
+            if self._round(mid, we, explored)[0] < lam:
+                lo = mid
+            else:
+                hi = mid
+        served, power = self._round(hi, we, explored)
+        return hi, power
+
+    def solve(self, problem: SlotProblem, *, explored: bool = False) -> float:
+        """Run the full kink-aware protocol; agents end holding their loads
+        (via ``commit``).  Returns the final dual price ``nu``."""
+        lam = problem.arrival_rate
+        pue = problem.pue
+        if lam <= 0.0:
+            self.bus.broadcast(self.name, "commit", {"nu": 0.0, "we": 0.0, "explored": explored})
+            return 0.0
+
+        we_full = problem.electricity_weight
+        nu, power = self._bisect_nu(lam, we_full, explored)
+        if pue * power >= problem.onsite * (1.0 - 1e-12):
+            self.bus.broadcast(self.name, "commit", {"nu": nu, "we": we_full, "explored": explored})
+            return nu
+
+        nu_free, power_free = self._bisect_nu(lam, 0.0, explored)
+        if pue * power_free <= problem.onsite * (1.0 + 1e-12):
+            self.bus.broadcast(self.name, "commit", {"nu": nu_free, "we": 0.0, "explored": explored})
+            return nu_free
+
+        lo_mu, hi_mu = 0.0, we_full
+        for _ in range(_MU_ROUNDS):
+            mu = 0.5 * (lo_mu + hi_mu)
+            nu, power = self._bisect_nu(lam, mu, explored)
+            if pue * power > problem.onsite:
+                lo_mu = mu
+            else:
+                hi_mu = mu
+        self.bus.broadcast(self.name, "commit", {"nu": nu, "we": 0.5 * (lo_mu + hi_mu), "explored": explored})
+        return nu
+
+
+class DistributedGSD(SlotSolver):
+    """Algorithm 2 executed over the message fabric.
+
+    Functionally equivalent to :class:`~repro.solvers.gsd.GSDSolver` but
+    every quantity crosses the bus; use it to demonstrate and measure the
+    distributed protocol, not for year-long sweeps.
+    """
+
+    def __init__(
+        self,
+        *,
+        iterations: int = 200,
+        delta: float = 1e6,
+        rng: np.random.Generator | None = None,
+    ):
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.iterations = iterations
+        self.delta = delta
+        self.rng = rng if rng is not None else np.random.default_rng(2)
+        self.last_bus: MessageBus | None = None
+
+    def _objective(self, problem: SlotProblem, agents: list[ServerAgent], coord: DualLoadCoordinator, explored: bool) -> float:
+        try:
+            coord.solve(problem, explored=explored)
+        except InfeasibleError:
+            return np.inf
+        action = self._action(agents, explored)
+        evaluation = problem.evaluate(action)
+        if problem.violates_caps(evaluation):
+            return np.inf
+        return evaluation.objective
+
+    @staticmethod
+    def _action(agents: list[ServerAgent], explored: bool) -> FleetAction:
+        levels = np.array(
+            [a.explored_level if explored else a.level for a in agents],
+            dtype=np.int64,
+        )
+        loads = np.array(
+            [a.load if (a.explored_level if explored else a.level) >= 0 else 0.0 for a in agents]
+        )
+        return FleetAction(levels=levels, per_server_load=loads)
+
+    def solve(self, problem: SlotProblem) -> SlotSolution:
+        problem.check_feasible()
+        fleet = problem.fleet
+        bus = MessageBus()
+        agents = [ServerAgent(f"group-{g}", fleet, g) for g in range(fleet.num_groups)]
+        for a in agents:
+            bus.register(a)
+        coord = DualLoadCoordinator(bus)
+        coord.configure(problem)
+        self.last_bus = bus
+
+        current = self._objective(problem, agents, coord, explored=False)
+        best = current
+        best_levels = np.array([a.level for a in agents], dtype=np.int64)
+
+        for _ in range(self.iterations):
+            g = int(self.rng.integers(0, fleet.num_groups))
+            reply = bus.send(
+                Message("driver", agents[g].name, "explore", {"rng": self.rng})
+            )
+            if reply.payload["level"] == agents[g].level:
+                bus.broadcast("driver", "decide", {"accept": False})
+                continue
+            explored_obj = self._objective(problem, agents, coord, explored=True)
+            if np.isfinite(explored_obj):
+                ge = max(explored_obj, 1e-12)
+                gs = max(current, 1e-12)
+                exponent = np.clip(self.delta * (1.0 / ge - 1.0 / gs), -700.0, 700.0)
+                accept = self.rng.random() < 1.0 / (1.0 + np.exp(-exponent))
+            else:
+                accept = False
+            bus.broadcast("driver", "decide", {"accept": bool(accept)})
+            if accept:
+                current = explored_obj
+                if explored_obj < best:
+                    best = explored_obj
+                    best_levels = np.array([a.level for a in agents], dtype=np.int64)
+
+        # Final commit of the best configuration found.
+        for a, lvl in zip(agents, best_levels):
+            bus.send(Message("driver", a.name, "set_level", {"level": int(lvl)}))
+        coord.solve(problem, explored=False)
+        action = self._action(agents, explored=False)
+        return SlotSolution(
+            action=action,
+            evaluation=problem.evaluate(action),
+            info={
+                "messages": bus.delivered,
+                "messages_by_kind": dict(bus.by_kind),
+            },
+        )

@@ -1,0 +1,161 @@
+"""Workload forecasters: realistic hour-ahead prediction.
+
+The paper assumes the *current* slot's arrival rate is known exactly and
+shows robustness to overestimation; PerfectHP additionally gets perfect
+48-hour forecasts.  Real operators run forecasters.  This module provides
+the standard simple ones so experiments can replace the perfect-information
+assumption with realistic prediction error:
+
+* :class:`Persistence` -- predict the previous slot's value (the strongest
+  naive baseline at one-hour horizons).
+* :class:`SeasonalNaive` -- predict the value one season ago (e.g. the same
+  hour yesterday or last week), the right naive model for strongly diurnal
+  workloads.
+* :class:`EWMA` -- exponentially weighted average of past values.
+* :class:`SeasonalEWMA` -- an EWMA *per hour-of-season* (a lightweight
+  Holt-Winters): tracks both level shifts and the diurnal profile.
+
+All forecasters are strictly causal: the prediction for slot ``t`` uses
+values up to ``t - 1`` only.  :func:`forecast_workload` runs one over a
+trace and returns the (predicted, actual) pair the simulator consumes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import HOURS_PER_DAY, Trace
+from .noise import PredictionModel
+
+__all__ = [
+    "Forecaster",
+    "Persistence",
+    "SeasonalNaive",
+    "EWMA",
+    "SeasonalEWMA",
+    "forecast_workload",
+]
+
+
+class Forecaster(ABC):
+    """Causal one-step-ahead forecaster over an hourly series."""
+
+    @abstractmethod
+    def predict_series(self, values: np.ndarray) -> np.ndarray:
+        """Predictions ``p[t]`` using only ``values[:t]``; ``p[0]`` falls
+        back to ``values[0]`` (no history -- treated as a warm start, not a
+        leak, since slot 0's decision error washes out of every experiment
+        here)."""
+
+    def name(self) -> str:
+        """Identifier for reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Persistence(Forecaster):
+    """Predict the previous value."""
+
+    def predict_series(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty_like(values)
+        out[0] = values[0]
+        out[1:] = values[:-1]
+        return out
+
+
+@dataclass(frozen=True)
+class SeasonalNaive(Forecaster):
+    """Predict the value one season (default one day) ago."""
+
+    season: int = HOURS_PER_DAY
+
+    def __post_init__(self) -> None:
+        if self.season < 1:
+            raise ValueError("season must be positive")
+
+    def predict_series(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty_like(values)
+        s = self.season
+        # Before a full season of history exists, fall back to persistence.
+        out[0] = values[0]
+        head = min(s, values.size)
+        out[1:head] = values[: head - 1]
+        if values.size > s:
+            out[s:] = values[:-s]
+        return out
+
+
+@dataclass(frozen=True)
+class EWMA(Forecaster):
+    """Exponentially weighted moving average of the past."""
+
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    def predict_series(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty_like(values)
+        level = values[0]
+        out[0] = level
+        for t in range(1, values.size):
+            level += self.alpha * (values[t - 1] - level)
+            out[t] = level
+        return out
+
+
+@dataclass(frozen=True)
+class SeasonalEWMA(Forecaster):
+    """Per-hour-of-season EWMA with a shared multiplicative level.
+
+    Maintains (a) a seasonal profile ``c[h]`` updated at rate ``gamma_s``
+    and (b) a global level updated at rate ``alpha`` from the deseasonalized
+    observations -- a lightweight multiplicative Holt-Winters without trend.
+    """
+
+    season: int = HOURS_PER_DAY
+    alpha: float = 0.2
+    gamma_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.season < 1:
+            raise ValueError("season must be positive")
+        if not (0.0 < self.alpha <= 1.0 and 0.0 < self.gamma_s <= 1.0):
+            raise ValueError("smoothing rates must be in (0, 1]")
+
+    def predict_series(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty_like(values)
+        profile = np.ones(self.season)
+        level = max(values[0], 1e-12)
+        out[0] = values[0]
+        for t in range(1, values.size):
+            h = t % self.season
+            out[t] = level * profile[h]
+            # Update with the value that just realized (t-1's slot).
+            h_prev = (t - 1) % self.season
+            obs = values[t - 1]
+            deseason = obs / max(profile[h_prev], 1e-12)
+            level += self.alpha * (deseason - level)
+            if level > 0:
+                profile[h_prev] += self.gamma_s * (obs / max(level, 1e-12) - profile[h_prev])
+        return out
+
+
+def forecast_workload(actual: Trace, forecaster: Forecaster) -> PredictionModel:
+    """Run a forecaster over an actual workload trace and return the
+    (predicted, actual) pair, with predictions floored at zero."""
+    predicted = np.maximum(forecaster.predict_series(actual.values), 0.0)
+    return PredictionModel(
+        predicted=Trace(
+            predicted, name=f"{actual.name}-{forecaster.name()}", unit=actual.unit
+        ),
+        actual=actual,
+    )

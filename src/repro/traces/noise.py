@@ -1,0 +1,97 @@
+"""Prediction-error and overestimation models for sensitivity studies.
+
+COCA consumes the *current-slot* workload arrival rate as an input.  The
+paper's sensitivity study (Fig. 5(c)) stresses this assumption two ways:
+
+* **Overestimation factor** ``phi >= 1``: the controller provisions for
+  ``phi * lambda(t)`` while the data center actually serves ``lambda(t)``.
+  The paper notes this also subsumes imperfect service-rate modeling, and
+  reports that costs rise by <2.5% even at 20% overestimation.
+* **Prediction noise**: hour-ahead estimates that are off by a random
+  multiplicative factor, which we expose for additional robustness studies.
+
+These helpers produce *pairs* of traces -- what the controller believes and
+what the environment delivers -- so the simulator can feed each side its own
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Trace
+
+__all__ = ["PredictionModel", "overestimate", "noisy_prediction"]
+
+
+@dataclass(frozen=True)
+class PredictionModel:
+    """A (believed, actual) pair of workload traces.
+
+    Attributes
+    ----------
+    predicted:
+        What the controller sees when making slot decisions.
+    actual:
+        What arrives and is actually served / billed.
+    """
+
+    predicted: Trace
+    actual: Trace
+
+    def __post_init__(self) -> None:
+        if len(self.predicted) != len(self.actual):
+            raise ValueError("predicted and actual traces must share a horizon")
+
+    @property
+    def horizon(self) -> int:
+        """Number of slots covered by the pair."""
+        return len(self.actual)
+
+    @property
+    def mean_absolute_relative_error(self) -> float:
+        """Mean |predicted - actual| / actual over slots with actual > 0."""
+        a = self.actual.values
+        p = self.predicted.values
+        mask = a > 0
+        if not mask.any():
+            return 0.0
+        return float(np.mean(np.abs(p[mask] - a[mask]) / a[mask]))
+
+
+def overestimate(actual: Trace, phi: float) -> PredictionModel:
+    """Uniform workload overestimation by factor ``phi >= 1`` (Fig. 5(c)).
+
+    The controller plans for ``phi * lambda(t)``; arrivals stay at
+    ``lambda(t)``.
+    """
+    if phi < 1.0:
+        raise ValueError("overestimation factor phi must be >= 1")
+    return PredictionModel(predicted=actual.scale(phi), actual=actual)
+
+
+def noisy_prediction(
+    actual: Trace,
+    rng: np.random.Generator,
+    *,
+    relative_error: float = 0.1,
+    bias: float = 0.0,
+) -> PredictionModel:
+    """Hour-ahead prediction with multiplicative error.
+
+    Each slot's prediction is ``actual * (1 + bias) * U`` with
+    ``U ~ Uniform[1-relative_error, 1+relative_error]``, floored at zero.
+    """
+    if relative_error < 0:
+        raise ValueError("relative_error must be non-negative")
+    factors = (1.0 + bias) * rng.uniform(
+        1.0 - relative_error, 1.0 + relative_error, size=len(actual)
+    )
+    predicted = Trace(
+        np.maximum(actual.values * factors, 0.0),
+        name=f"{actual.name}-predicted",
+        unit=actual.unit,
+    )
+    return PredictionModel(predicted=predicted, actual=actual)

@@ -1,0 +1,95 @@
+"""Synthetic hourly solar-generation trace.
+
+The paper obtains hourly solar generation for Mountain View, CA (2012) from
+the California ISO and scales it so on-site renewables cover roughly 20% of
+data center consumption.  CAISO's historical feed is not bundled here, so we
+synthesize an hourly photovoltaic output series from first principles:
+
+* a clear-sky envelope from solar geometry (day length and midday intensity
+  vary over the year at Mountain View's latitude, ~37.4 N),
+* an AR(1) daily "cloudiness" state (weather persists across days),
+* intra-day attenuation noise (passing clouds),
+* zero output at night.
+
+Output is normalized to a unit clear-sky peak; callers scale it to a target
+energy total via :meth:`repro.traces.base.Trace.scale_to_total`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import HOURS_PER_DAY, HOURS_PER_YEAR, Trace
+
+__all__ = ["solar_trace"]
+
+#: Latitude used for the clear-sky geometry (Mountain View, CA).
+_LATITUDE_DEG = 37.4
+
+
+def _clear_sky(horizon_days: int) -> np.ndarray:
+    """Hourly clear-sky output for ``horizon_days`` days, unit midsummer peak.
+
+    Uses the standard solar-declination formula and the cosine of the solar
+    zenith angle clamped at zero (night).
+    """
+    lat = np.radians(_LATITUDE_DEG)
+    day = np.arange(horizon_days).repeat(HOURS_PER_DAY)
+    hour = np.tile(np.arange(HOURS_PER_DAY, dtype=np.float64), horizon_days)
+    # Solar declination (radians), day 0 = Jan 1.
+    decl = np.radians(23.45) * np.sin(2.0 * np.pi * (284 + day + 1) / 365.0)
+    hour_angle = np.radians(15.0 * (hour + 0.5 - 12.0))
+    cos_zenith = np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.cos(
+        hour_angle
+    )
+    return np.maximum(cos_zenith, 0.0)
+
+
+def solar_trace(
+    horizon: int = HOURS_PER_YEAR,
+    *,
+    seed: int = 77,
+    rng: np.random.Generator | None = None,
+    cloud_persistence: float = 0.75,
+    cloud_depth: float = 0.65,
+) -> Trace:
+    """Generate a normalized hourly solar trace.
+
+    Parameters
+    ----------
+    horizon:
+        Number of hourly slots.
+    seed, rng:
+        Randomness controls (``rng`` wins if supplied).
+    cloud_persistence:
+        AR(1) coefficient of the day-to-day cloudiness state in [0, 1).
+    cloud_depth:
+        Maximum fractional attenuation on a fully overcast day.
+
+    Returns
+    -------
+    Trace
+        Non-negative generation in arbitrary units (unit clear-sky peak);
+        scale with :meth:`Trace.scale_to_total` or :meth:`Trace.scale_to_peak`.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    gen = rng if rng is not None else np.random.default_rng(seed)
+
+    days = int(np.ceil(horizon / HOURS_PER_DAY))
+    envelope = _clear_sky(days)
+
+    # Day-level cloudiness in [0, 1]: AR(1) on a latent Gaussian squashed
+    # through a logistic, so overcast spells cluster.
+    latent = np.empty(days)
+    innov = gen.normal(0.0, 0.8, size=days)
+    latent[0] = innov[0]
+    for d in range(1, days):
+        latent[d] = cloud_persistence * latent[d - 1] + innov[d]
+    cloudiness = 1.0 / (1.0 + np.exp(-latent))  # 0 = clear, 1 = overcast
+    daily_factor = 1.0 - cloud_depth * cloudiness
+
+    # Intra-day passing-cloud attenuation.
+    intra = gen.uniform(0.85, 1.0, size=days * HOURS_PER_DAY)
+    values = envelope * daily_factor.repeat(HOURS_PER_DAY) * intra
+    return Trace(values[:horizon], name="solar", unit="MW")

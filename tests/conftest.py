@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Scenario construction involves calibration sweeps, so the expensive
+fixtures are session-scoped; tests must treat them as immutable (scenarios
+and traces are frozen dataclasses, so accidental mutation raises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fleet, ServerGroup, cubic_dvfs_profile, opteron_2380
+from repro.core import DataCenterModel
+from repro.scenarios import small_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_fleet() -> Fleet:
+    """3 homogeneous groups x 10 Opterons -- brute-forceable."""
+    return Fleet([ServerGroup(opteron_2380(), 10) for _ in range(3)])
+
+
+@pytest.fixture(scope="session")
+def hetero_fleet() -> Fleet:
+    """Two different profiles -- exercises heterogeneous paths."""
+    return Fleet(
+        [
+            ServerGroup(opteron_2380(), 8),
+            ServerGroup(cubic_dvfs_profile(), 12),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_fleet) -> DataCenterModel:
+    return DataCenterModel(fleet=tiny_fleet, beta=10.0)
+
+
+@pytest.fixture(scope="session")
+def hetero_model(hetero_fleet) -> DataCenterModel:
+    return DataCenterModel(fleet=hetero_fleet, beta=10.0)
+
+
+@pytest.fixture(scope="session")
+def week_scenario():
+    """One-week small scenario (fast; ~170 slots)."""
+    return small_scenario(horizon=24 * 7)
+
+
+@pytest.fixture(scope="session")
+def fortnight_scenario():
+    """Two-week small scenario for integration tests."""
+    return small_scenario(horizon=24 * 14)
+
+
+def make_problem(model, *, lam_frac=0.5, onsite=0.0, price=40.0, q=0.0, V=1.0, **kw):
+    """Helper to build a slot problem at a fraction of capped capacity."""
+    lam = lam_frac * model.fleet.capacity(model.gamma)
+    return model.slot_problem(
+        arrival_rate=lam, onsite=onsite, price=price, q=q, V=V, **kw
+    )

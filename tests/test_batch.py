@@ -1,0 +1,124 @@
+"""Tests for the vectorized whole-horizon sweep (solvers/batch.py).
+
+The batch sweep must agree slot-for-slot with the per-slot enumeration
+engine -- they implement the same optimization, one vectorized over time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DataCenterModel
+from repro.solvers import HomogeneousEnumerationSolver, InfeasibleError
+from repro.solvers.batch import batch_enumerate, supports_batch
+
+
+@pytest.fixture(scope="module")
+def slot_inputs(rng_module=np.random.default_rng(77)):
+    n = 64
+    return {
+        "arrival": rng_module.uniform(0.0, 0.85, n),  # fraction, scaled later
+        "onsite": rng_module.uniform(0.0, 0.004, n),
+        "price": rng_module.uniform(10.0, 90.0, n),
+    }
+
+
+class TestAgainstPerSlot:
+    @pytest.mark.parametrize("q", [0.0, 10.0, 200.0])
+    def test_matches_enumeration(self, tiny_model, slot_inputs, q):
+        lam = slot_inputs["arrival"] * tiny_model.fleet.capacity(tiny_model.gamma)
+        res = batch_enumerate(
+            tiny_model, lam, slot_inputs["onsite"], slot_inputs["price"], q=q, V=1.0
+        )
+        solver = HomogeneousEnumerationSolver(switching_aware=False)
+        for t in range(lam.size):
+            p = tiny_model.slot_problem(
+                arrival_rate=lam[t],
+                onsite=slot_inputs["onsite"][t],
+                price=slot_inputs["price"][t],
+                q=q,
+                V=1.0,
+            )
+            sol = solver.solve(p)
+            assert res.objective[t] == pytest.approx(
+                sol.objective, rel=1e-9, abs=1e-12
+            ), f"slot {t}"
+            assert res.brown_energy[t] == pytest.approx(
+                sol.evaluation.brown_energy, rel=1e-9, abs=1e-12
+            )
+            assert res.cost[t] == pytest.approx(sol.cost, rel=1e-9, abs=1e-12)
+
+    def test_per_slot_q_array(self, tiny_model, slot_inputs):
+        lam = slot_inputs["arrival"] * tiny_model.fleet.capacity(tiny_model.gamma)
+        q = np.linspace(0.0, 100.0, lam.size)
+        res = batch_enumerate(
+            tiny_model, lam, slot_inputs["onsite"], slot_inputs["price"], q=q
+        )
+        solver = HomogeneousEnumerationSolver(switching_aware=False)
+        for t in [0, lam.size // 2, lam.size - 1]:
+            p = tiny_model.slot_problem(
+                arrival_rate=lam[t],
+                onsite=slot_inputs["onsite"][t],
+                price=slot_inputs["price"][t],
+                q=float(q[t]),
+            )
+            assert res.objective[t] == pytest.approx(
+                solver.solve(p).objective, rel=1e-9
+            )
+
+
+class TestProperties:
+    def test_brown_monotone_in_q(self, tiny_model, slot_inputs):
+        """The OPT bisection relies on total brown being nonincreasing in
+        the penalty."""
+        lam = slot_inputs["arrival"] * tiny_model.fleet.capacity(tiny_model.gamma)
+        browns = [
+            batch_enumerate(
+                tiny_model, lam, slot_inputs["onsite"], slot_inputs["price"], q=q
+            ).total_brown
+            for q in [0.0, 5.0, 20.0, 100.0, 1000.0]
+        ]
+        assert all(b1 >= b2 - 1e-9 for b1, b2 in zip(browns, browns[1:]))
+
+    def test_zero_arrival_all_off(self, tiny_model):
+        res = batch_enumerate(
+            tiny_model, np.zeros(4), np.zeros(4), np.full(4, 40.0)
+        )
+        assert np.all(res.servers_on == 0)
+        assert np.all(res.it_power == 0)
+        assert np.all(res.speed_level == -1)
+
+    def test_infeasible_slot_raises(self, tiny_model):
+        lam = np.array([10.0 * tiny_model.fleet.max_capacity])
+        with pytest.raises(InfeasibleError):
+            batch_enumerate(tiny_model, lam, np.zeros(1), np.full(1, 40.0))
+
+    def test_supports_batch_detection(self, tiny_model, hetero_model):
+        assert supports_batch(tiny_model)
+        assert not supports_batch(hetero_model)
+
+    def test_heterogeneous_rejected(self, hetero_model):
+        with pytest.raises(ValueError, match="homogeneous"):
+            batch_enumerate(hetero_model, np.ones(2), np.zeros(2), np.ones(2))
+
+    def test_length_mismatch_rejected(self, tiny_model):
+        with pytest.raises(ValueError, match="length"):
+            batch_enumerate(tiny_model, np.ones(3), np.zeros(2), np.ones(3))
+
+    def test_chunking_consistent(self, tiny_model):
+        """Results must not depend on the chunk boundary."""
+        import repro.solvers.batch as batch_mod
+
+        n = 40
+        rng = np.random.default_rng(5)
+        lam = rng.uniform(0, 0.8, n) * tiny_model.fleet.capacity(tiny_model.gamma)
+        onsite = rng.uniform(0, 0.002, n)
+        price = rng.uniform(20, 60, n)
+        full = batch_enumerate(tiny_model, lam, onsite, price, q=3.0)
+        old = batch_mod._CHUNK
+        try:
+            batch_mod._CHUNK = 7
+            small = batch_enumerate(tiny_model, lam, onsite, price, q=3.0)
+        finally:
+            batch_mod._CHUNK = old
+        np.testing.assert_allclose(full.objective, small.objective)
+        np.testing.assert_allclose(full.servers_on, small.servers_on)

@@ -1,0 +1,138 @@
+"""Tests for the delay-tolerant batch-queue substrate (section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_jobs import BatchAwareCOCA, BatchBacklog
+from repro.sim import simulate
+from repro.traces import Trace
+
+
+class TestBatchBacklog:
+    def test_conservation(self):
+        q = BatchBacklog()
+        q.update(arrivals=5.0, served=2.0)
+        q.update(arrivals=1.0, served=4.0)
+        assert q.backlog == pytest.approx(0.0)
+        assert q.total_arrived == 6.0
+        assert q.total_served == 6.0
+
+    def test_cannot_serve_phantom_work(self):
+        q = BatchBacklog()
+        q.update(arrivals=1.0, served=0.0)
+        with pytest.raises(ValueError, match="more batch work"):
+            q.update(arrivals=0.0, served=2.0)
+
+    def test_negative_rejected(self):
+        q = BatchBacklog()
+        with pytest.raises(ValueError):
+            q.update(arrivals=-1.0, served=0.0)
+
+    def test_history(self):
+        q = BatchBacklog()
+        q.update(2.0, 1.0)
+        q.update(0.0, 1.0)
+        np.testing.assert_allclose(q.history, [1.0, 0.0])
+
+
+@pytest.fixture(scope="module")
+def batch_setup(request):
+    from repro.scenarios import small_scenario
+
+    sc = small_scenario(horizon=24 * 7)
+    rng = np.random.default_rng(4)
+    # Batch work ~ 10% of interactive on average, bursty.
+    batch = Trace(
+        rng.uniform(0.0, 0.2, sc.horizon) * sc.environment.actual_workload.mean,
+        name="batch",
+        unit="req/s",
+    )
+    return sc, batch
+
+
+class TestBatchAwareCOCA:
+    def test_work_conservation_and_bounded_backlog(self, batch_setup):
+        sc, batch = batch_setup
+        controller = BatchAwareCOCA(
+            sc.model,
+            sc.environment.portfolio,
+            batch,
+            v_schedule=0.02,
+            eta=0.5,
+            max_age_slots=24,
+        )
+        record = simulate(sc.model, controller, sc.environment)
+        served = np.asarray(controller.batch_served)
+        assert served.shape == (sc.horizon,)
+        # Conservation: arrived == served + final backlog.
+        assert controller.backlog.total_arrived == pytest.approx(
+            controller.backlog.total_served + controller.backlog.backlog
+        )
+        # The freshness floor keeps the backlog within ~max_age slots of
+        # arrivals.
+        assert controller.backlog.backlog < batch.mean * 3 * 24
+        # Most of the work got done within the week.
+        assert controller.backlog.total_served > 0.7 * controller.backlog.total_arrived
+
+    def test_served_load_includes_batch(self, batch_setup):
+        sc, batch = batch_setup
+        controller = BatchAwareCOCA(
+            sc.model, sc.environment.portfolio, batch, v_schedule=0.02, eta=0.5
+        )
+        record = simulate(sc.model, controller, sc.environment)
+        extra = record.served - record.arrival_actual
+        np.testing.assert_allclose(
+            extra, np.asarray(controller.batch_served), atol=1e-6
+        )
+
+    def test_batch_prefers_cheap_slots(self, batch_setup):
+        """The drift-plus-penalty rule should drain batch work at a lower
+        average electricity price than the time-average."""
+        sc, batch = batch_setup
+        controller = BatchAwareCOCA(
+            sc.model,
+            sc.environment.portfolio,
+            batch,
+            v_schedule=0.02,
+            eta=0.2,
+            max_age_slots=72,
+        )
+        simulate(sc.model, controller, sc.environment)
+        served = np.asarray(controller.batch_served)
+        price = sc.environment.price.values
+        if served.sum() > 0:
+            served_weighted_price = float(np.sum(served * price) / served.sum())
+            assert served_weighted_price <= price.mean() * 1.02
+
+    def test_interactive_always_served(self, batch_setup):
+        sc, batch = batch_setup
+        controller = BatchAwareCOCA(
+            sc.model, sc.environment.portfolio, batch, v_schedule=0.02
+        )
+        record = simulate(sc.model, controller, sc.environment)
+        assert record.dropped.sum() == 0.0
+        assert np.all(record.served >= record.arrival_actual - 1e-6)
+
+    def test_validation(self, batch_setup):
+        sc, batch = batch_setup
+        short = Trace(np.ones(3))
+        with pytest.raises(ValueError, match="horizon"):
+            BatchAwareCOCA(sc.model, sc.environment.portfolio, short)
+        with pytest.raises(ValueError):
+            BatchAwareCOCA(sc.model, sc.environment.portfolio, batch, eta=-1.0)
+        with pytest.raises(ValueError):
+            BatchAwareCOCA(
+                sc.model, sc.environment.portfolio, batch, max_age_slots=0
+            )
+        with pytest.raises(ValueError):
+            BatchAwareCOCA(
+                sc.model, sc.environment.portfolio, batch, service_candidates=1
+            )
+
+    def test_exposes_deficit_queue(self, batch_setup):
+        sc, batch = batch_setup
+        controller = BatchAwareCOCA(
+            sc.model, sc.environment.portfolio, batch, v_schedule=0.02
+        )
+        simulate(sc.model, controller, sc.environment)
+        assert len(controller.queue.history) == sc.horizon

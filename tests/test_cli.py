@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_traces(self, capsys):
+        assert main(["traces", "fiu", "--horizon", "240"]) == 0
+        out = capsys.readouterr().out
+        assert "fiu-workload" in out
+        assert "daily profile peak" in out
+
+    def test_traces_all_kinds(self, capsys):
+        for kind in ["msr", "solar", "wind", "price", "rec-price"]:
+            assert main(["traces", kind, "--horizon", "240"]) == 0
+
+    def test_quickstart_fixed_v(self, capsys):
+        assert main(["quickstart", "--horizon", "72", "--v", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "carbon-unaware vs COCA" in out
+        assert "COCA" in out
+
+    def test_sweep_v(self, capsys):
+        assert main(["sweep-v", "--horizon", "72", "--values", "0.01,10"]) == 0
+        out = capsys.readouterr().out
+        assert "impact of constant V" in out
+
+    def test_compare_hp(self, capsys):
+        assert (
+            main(["compare-hp", "--horizon", "96", "--v", "0.02", "--buckets", "4"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PerfectHP" in out
+
+    def test_budget_sweep_no_opt(self, capsys):
+        assert (
+            main(
+                [
+                    "budget-sweep",
+                    "--horizon",
+                    "96",
+                    "--fractions",
+                    "0.95",
+                    "--no-opt",
+                    "--v-iters",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "budget" in out
+
+    def test_msr_workload_option(self, capsys):
+        assert (
+            main(["quickstart", "--horizon", "72", "--v", "0.05", "--workload", "msr"])
+            == 0
+        )

@@ -1,0 +1,140 @@
+"""Tests for the COCA controller (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import COCA, ConstantV, FrameV
+from repro.sim import simulate
+from repro.solvers import GSDSolver
+
+
+class TestQueueCoupling:
+    def test_queue_tracks_deficit(self, week_scenario):
+        sc = week_scenario
+        coca = COCA(sc.model, sc.environment.portfolio, v_schedule=1e6)
+        simulate(sc.model, coca, sc.environment)
+        # With a huge V the controller is carbon-unaware; the queue should
+        # have accumulated something over a 92%-budget week.
+        assert coca.queue.length > 0
+
+    def test_small_v_enforces_neutrality(self, fortnight_scenario):
+        sc = fortnight_scenario
+        coca = COCA(sc.model, sc.environment.portfolio, v_schedule=0.01)
+        record = simulate(sc.model, coca, sc.environment)
+        assert record.ledger(sc.environment.portfolio, sc.alpha).is_neutral()
+
+    def test_cost_monotone_in_v(self, fortnight_scenario):
+        """Fig. 2(a): larger V -> (weakly) smaller cost."""
+        sc = fortnight_scenario
+        costs = []
+        for v in [0.001, 0.1, 100.0]:
+            coca = COCA(sc.model, sc.environment.portfolio, v_schedule=v)
+            costs.append(simulate(sc.model, coca, sc.environment).average_cost)
+        assert costs[0] >= costs[1] >= costs[2]
+
+    def test_brown_monotone_in_v(self, fortnight_scenario):
+        """Fig. 2(b): larger V -> (weakly) more electricity usage."""
+        sc = fortnight_scenario
+        browns = []
+        for v in [0.001, 0.1, 100.0]:
+            coca = COCA(sc.model, sc.environment.portfolio, v_schedule=v)
+            browns.append(simulate(sc.model, coca, sc.environment).total_brown)
+        assert browns[0] <= browns[1] <= browns[2] + 1e-9
+
+    def test_large_v_approaches_unaware(self, week_scenario):
+        from repro.baselines import CarbonUnaware
+
+        sc = week_scenario
+        coca = COCA(sc.model, sc.environment.portfolio, v_schedule=1e9)
+        coca_rec = simulate(sc.model, coca, sc.environment)
+        unaware_rec = simulate(sc.model, CarbonUnaware(sc.model), sc.environment)
+        assert coca_rec.average_cost == pytest.approx(
+            unaware_rec.average_cost, rel=1e-6
+        )
+
+
+class TestFrames:
+    def test_queue_resets_each_frame(self, week_scenario):
+        sc = week_scenario
+        coca = COCA(
+            sc.model,
+            sc.environment.portfolio,
+            v_schedule=1e6,
+            frame_length=24,
+        )
+        simulate(sc.model, coca, sc.environment)
+        q = np.asarray(coca.queue_at_decision)
+        # First decision of every frame sees a zero queue.
+        assert np.all(q[::24] == 0.0)
+
+    def test_v_changes_per_frame(self, week_scenario):
+        sc = week_scenario
+        coca = COCA(
+            sc.model,
+            sc.environment.portfolio,
+            v_schedule=FrameV((1.0, 2.0, 3.0)),
+            frame_length=48,
+        )
+        simulate(sc.model, coca, sc.environment)
+        v = np.asarray(coca.v_history)
+        assert v[0] == 1.0 and v[48] == 2.0 and v[96] == 3.0 and v[-1] == 3.0
+
+    def test_frame_length_validation(self, week_scenario):
+        sc = week_scenario
+        with pytest.raises(ValueError):
+            COCA(sc.model, sc.environment.portfolio, frame_length=0)
+
+    def test_float_schedule_accepted(self, week_scenario):
+        sc = week_scenario
+        coca = COCA(sc.model, sc.environment.portfolio, v_schedule=5)
+        assert isinstance(coca.v_schedule, ConstantV)
+
+
+class TestInformationStructure:
+    def test_decision_does_not_use_offsite(self, week_scenario):
+        """COCA may not see f(t) at decision time: two environments whose
+        off-site traces differ must produce identical decisions in slot 0."""
+        sc = week_scenario
+        from dataclasses import replace as dc_replace
+
+        pf = sc.environment.portfolio
+        pf2 = dc_replace(pf, offsite=pf.offsite.scale(0.5))
+        env2 = sc.environment.with_portfolio(pf2)
+
+        c1 = COCA(sc.model, pf, v_schedule=1.0)
+        c2 = COCA(sc.model, pf2, v_schedule=1.0)
+        s1 = c1.decide(sc.environment.observation(0))
+        s2 = c2.decide(env2.observation(0))
+        np.testing.assert_array_equal(s1.action.levels, s2.action.levels)
+
+    def test_horizon_mismatch_detected(self, week_scenario, fortnight_scenario):
+        coca = COCA(
+            week_scenario.model,
+            week_scenario.environment.portfolio,
+            v_schedule=1.0,
+        )
+        with pytest.raises(ValueError, match="horizon"):
+            coca.start(fortnight_scenario.environment)
+
+
+class TestPluggableSolver:
+    def test_runs_with_gsd(self, week_scenario):
+        """Algorithm 1 with Algorithm 2 as the P3 engine, on a short run."""
+        sc = week_scenario
+        coca = COCA(
+            sc.model,
+            sc.environment.portfolio,
+            v_schedule=0.01,
+            solver=GSDSolver(iterations=400, delta=1e5, rng=np.random.default_rng(0)),
+        )
+        horizon = 12
+        for t in range(horizon):
+            obs = sc.environment.observation(t)
+            sol = coca.decide(obs)
+            assert np.isfinite(sol.objective)
+            from repro.core.controller import SlotOutcome
+
+            coca.observe(
+                SlotOutcome(t=t, evaluation=sol.evaluation, offsite=sc.environment.offsite(t))
+            )
+        assert len(coca.v_history) == horizon

@@ -1,0 +1,67 @@
+"""Tests for GSD under server failures (section 4.2's failure remark)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fleet, ServerGroup, opteron_2380
+from repro.core import DataCenterModel
+from repro.solvers import BruteForceSolver, GSDSolver, InfeasibleError
+from tests.conftest import make_problem
+
+
+class TestGSDWithFailures:
+    def test_failed_groups_stay_dark(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.4)
+        sol = GSDSolver(
+            iterations=1500,
+            delta=1e5,
+            rng=np.random.default_rng(0),
+            failed_groups=[1],
+        ).solve(p)
+        assert sol.action.levels[1] == -1
+        assert sol.action.per_server_load[1] == 0.0
+        assert sol.action.served_load(tiny_model.fleet) == pytest.approx(
+            p.arrival_rate, rel=1e-6
+        )
+
+    def test_matches_oracle_on_degraded_fleet(self, tiny_model):
+        """GSD restricted to functioning groups must match brute force on
+        the fleet with the failed group removed."""
+        p = make_problem(tiny_model, lam_frac=0.5)
+        delta = GSDSolver.auto_delta(p, greediness=50.0)
+        sol = GSDSolver(
+            iterations=3000,
+            delta=delta,
+            rng=np.random.default_rng(1),
+            failed_groups=[0],
+        ).solve(p)
+
+        degraded = Fleet([ServerGroup(opteron_2380(), 10) for _ in range(2)])
+        dm = DataCenterModel(fleet=degraded, beta=10.0)
+        p2 = dm.slot_problem(
+            arrival_rate=p.arrival_rate, onsite=p.onsite, price=p.price, q=p.q
+        )
+        oracle = BruteForceSolver().solve(p2)
+        assert sol.objective <= oracle.objective * 1.02 + 1e-12
+
+    def test_all_failed_rejected(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.1)
+        with pytest.raises(ValueError, match="every group"):
+            GSDSolver(iterations=10, delta=1e5, failed_groups=[0, 1, 2]).solve(p)
+
+    def test_out_of_range_rejected(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.1)
+        with pytest.raises(ValueError, match="out of range"):
+            GSDSolver(iterations=10, delta=1e5, failed_groups=[7]).solve(p)
+
+    def test_infeasible_when_survivors_lack_capacity(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.9)  # needs ~2.7 groups
+        sol = GSDSolver(
+            iterations=50, delta=1e5, failed_groups=[0, 1]
+        )
+        from repro.solvers import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            # The remaining single group cannot carry 90% of total capacity;
+            # every configuration the chain can reach is infeasible.
+            sol.solve(p)

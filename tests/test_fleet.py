@@ -1,0 +1,148 @@
+"""Tests for fleets and fleet actions (Eqs. (2), (4), constraints (7)-(9))."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Fleet,
+    FleetAction,
+    ServerGroup,
+    cubic_dvfs_profile,
+    default_fleet,
+    opteron_2380,
+)
+
+
+class TestFleetStructure:
+    def test_default_fleet_matches_paper(self):
+        fleet = default_fleet()
+        assert fleet.num_groups == 200
+        assert fleet.num_servers == 216_000
+        # ~50 MW peak (216,000 x 231 W = 49.9 MW).
+        assert fleet.max_power == pytest.approx(49.9, rel=0.01)
+        assert fleet.max_capacity == pytest.approx(2.16e6)
+
+    def test_homogeneity_detection(self, tiny_fleet, hetero_fleet):
+        assert tiny_fleet.is_homogeneous
+        assert not hetero_fleet.is_homogeneous
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet([])
+
+    def test_nonpositive_group_count_rejected(self):
+        with pytest.raises(ValueError):
+            ServerGroup(opteron_2380(), 0)
+
+    def test_padded_tables(self, hetero_fleet):
+        """Groups with fewer levels are nan-padded and masked."""
+        fleet = Fleet(
+            [
+                ServerGroup(cubic_dvfs_profile(levels=2), 5),
+                ServerGroup(cubic_dvfs_profile(levels=4, name="big"), 5),
+            ]
+        )
+        assert fleet.max_levels == 4
+        assert np.isnan(fleet.speed_table[0, 3])
+        assert not fleet.level_valid[0, 2]
+        assert fleet.level_valid[1, 3]
+
+    def test_capacity_with_gamma(self, tiny_fleet):
+        assert tiny_fleet.capacity(0.5) == pytest.approx(0.5 * tiny_fleet.max_capacity)
+
+    def test_tables_readonly(self, tiny_fleet):
+        with pytest.raises(ValueError):
+            tiny_fleet.counts[0] = 5
+
+
+class TestGroupSpeeds:
+    def test_group_speeds_off_is_zero(self, tiny_fleet):
+        levels = np.array([-1, 0, 3])
+        speeds = tiny_fleet.group_speeds(levels)
+        assert speeds[0] == 0.0
+        assert speeds[1] == pytest.approx(3.2)
+        assert speeds[2] == pytest.approx(10.0)
+
+
+class TestActionEvaluation:
+    def test_power_matches_manual(self, tiny_fleet):
+        """Eq. (2): sum over groups of n * (static + coeff * load)."""
+        levels = np.array([3, 3, -1])
+        load = np.array([5.0, 2.0, 0.0])
+        p = tiny_fleet.action_power(levels, load)
+        prof = opteron_2380()
+        expected = 10 * prof.power(5.0, 3) + 10 * prof.power(2.0, 3)
+        assert p == pytest.approx(expected)
+
+    def test_all_off_power_zero(self, tiny_fleet):
+        action = FleetAction.all_off(tiny_fleet)
+        assert action.power(tiny_fleet) == 0.0
+        assert action.delay_sum(tiny_fleet) == 0.0
+        assert action.active_servers(tiny_fleet) == 0.0
+
+    def test_delay_sum_matches_mg1ps(self, tiny_fleet):
+        """Eq. (4): n * lambda / (x - lambda) per group."""
+        levels = np.array([3, -1, -1])
+        load = np.array([4.0, 0.0, 0.0])
+        d = tiny_fleet.action_delay_sum(levels, load)
+        assert d == pytest.approx(10 * 4.0 / (10.0 - 4.0))
+
+    def test_delay_infinite_at_saturation(self, tiny_fleet):
+        levels = np.array([3, -1, -1])
+        load = np.array([10.0, 0.0, 0.0])
+        assert tiny_fleet.action_delay_sum(levels, load) == np.inf
+
+    def test_off_group_with_load_is_infinite_delay(self, tiny_fleet):
+        levels = np.array([-1, -1, -1])
+        load = np.array([1.0, 0.0, 0.0])
+        assert tiny_fleet.action_delay_sum(levels, load) == np.inf
+
+    def test_served_load(self, tiny_fleet):
+        action = FleetAction(np.array([3, 2, -1]), np.array([1.0, 2.0, 0.0]))
+        assert action.served_load(tiny_fleet) == pytest.approx(30.0)
+
+    def test_on_counts(self, tiny_fleet):
+        action = FleetAction(np.array([3, -1, 0]), np.array([1.0, 0.0, 0.5]))
+        np.testing.assert_allclose(action.on_counts(tiny_fleet), [10, 0, 10])
+
+
+class TestActionValidation:
+    def test_valid_action_passes(self, tiny_fleet):
+        levels = np.array([3, 3, 3])
+        load = np.array([2.0, 2.0, 2.0])
+        tiny_fleet.validate_action(levels, load, 60.0, gamma=0.95)
+
+    def test_overload_rejected(self, tiny_fleet):
+        levels = np.array([3, 3, 3])
+        load = np.array([9.9, 9.9, 9.9])
+        with pytest.raises(ValueError, match="gamma"):
+            tiny_fleet.validate_action(levels, load, 3 * 99.0, gamma=0.95)
+
+    def test_balance_mismatch_rejected(self, tiny_fleet):
+        levels = np.array([3, 3, 3])
+        load = np.array([2.0, 2.0, 2.0])
+        with pytest.raises(ValueError, match="serves"):
+            tiny_fleet.validate_action(levels, load, 100.0, gamma=0.95)
+
+    def test_off_group_with_load_rejected(self, tiny_fleet):
+        levels = np.array([-1, 3, 3])
+        load = np.array([1.0, 2.0, 2.0])
+        with pytest.raises(ValueError, match="off"):
+            tiny_fleet.validate_action(levels, load, 50.0, gamma=0.95)
+
+    def test_bad_level_rejected(self, tiny_fleet):
+        levels = np.array([4, 3, 3])  # only 4 levels: 0..3
+        load = np.array([1.0, 1.0, 1.0])
+        with pytest.raises(ValueError, match="level"):
+            tiny_fleet.validate_action(levels, load, 30.0, gamma=0.95)
+
+
+class TestFleetActionContainer:
+    def test_arrays_frozen(self, tiny_fleet):
+        action = FleetAction.all_off(tiny_fleet)
+        with pytest.raises(ValueError):
+            action.levels[0] = 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FleetAction(np.array([1, 2]), np.array([1.0]))

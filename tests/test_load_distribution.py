@@ -1,0 +1,185 @@
+"""Tests for the convex load-distribution subproblem (GSD line 3).
+
+The KKT/water-filling solution is validated against scipy's generic
+constrained optimizer on random instances, and its structural properties
+(balance, caps, regime logic, optimality conditions) are checked directly.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.cluster import FleetAction
+from repro.solvers import InfeasibleError, distribute_load, solve_fixed_levels
+from tests.conftest import make_problem
+
+
+def scipy_reference(problem, levels):
+    """Brute-convex reference: minimize the P3 objective for fixed levels
+    with SLSQP over per-server loads."""
+    fleet = problem.fleet
+    on = np.nonzero(np.asarray(levels) >= 0)[0]
+    x = fleet.speed_table[on, np.asarray(levels)[on]]
+    n = fleet.counts[on]
+    caps = problem.gamma * x
+
+    def objective(loads):
+        full = np.zeros(fleet.num_groups)
+        full[on] = loads
+        action = FleetAction(np.asarray(levels, dtype=np.int64), full)
+        return problem.objective(action)
+
+    x0 = np.full(on.size, problem.arrival_rate / max(float(np.sum(n)), 1.0))
+    x0 = np.minimum(x0, 0.99 * caps)
+    res = minimize(
+        objective,
+        x0,
+        method="SLSQP",
+        bounds=[(0.0, c) for c in caps],
+        constraints=[
+            {
+                "type": "eq",
+                "fun": lambda loads: np.sum(n * loads) - problem.arrival_rate,
+            }
+        ],
+        options={"maxiter": 500, "ftol": 1e-12},
+    )
+    return res
+
+
+class TestBalanceAndCaps:
+    @pytest.mark.parametrize("lam_frac", [0.0, 0.1, 0.5, 0.9, 0.999])
+    def test_load_conservation(self, tiny_model, lam_frac):
+        p = make_problem(tiny_model, lam_frac=lam_frac)
+        levels = np.full(3, 3, dtype=np.int64)
+        dist = distribute_load(p, levels)
+        served = float(np.sum(tiny_model.fleet.counts * dist.per_server_load))
+        assert served == pytest.approx(p.arrival_rate, rel=1e-9, abs=1e-9)
+
+    def test_caps_respected(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.999)
+        levels = np.full(3, 3, dtype=np.int64)
+        dist = distribute_load(p, levels)
+        assert np.all(dist.per_server_load <= p.gamma * 10.0 + 1e-9)
+
+    def test_off_groups_carry_nothing(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.3)
+        levels = np.array([3, -1, 3])
+        dist = distribute_load(p, levels)
+        assert dist.per_server_load[1] == 0.0
+
+    def test_infeasible_raises(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.9)
+        levels = np.array([3, -1, -1])  # one group cannot carry 90%
+        with pytest.raises(InfeasibleError):
+            distribute_load(p, levels)
+
+    def test_all_off_with_load_raises(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.1)
+        with pytest.raises(InfeasibleError):
+            distribute_load(p, np.full(3, -1))
+
+    def test_zero_load_trivial(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.0)
+        dist = distribute_load(p, np.full(3, 3))
+        assert np.all(dist.per_server_load == 0.0)
+        assert dist.regime == "free"
+
+
+class TestRegimes:
+    def test_billed_regime_without_renewables(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.5, onsite=0.0)
+        dist = distribute_load(p, np.full(3, 3))
+        assert dist.regime == "billed"
+        assert dist.electricity_weight == pytest.approx(p.electricity_weight)
+
+    def test_free_regime_with_abundant_renewables(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.5, onsite=100.0)
+        dist = distribute_load(p, np.full(3, 3))
+        assert dist.regime == "free"
+        action = FleetAction(np.full(3, 3, dtype=np.int64), dist.per_server_load)
+        assert p.evaluate(action).brown_energy == 0.0
+
+    def test_boundary_regime_pins_power_at_supply(self, hetero_model):
+        """Pick r between the free and billed power levels -> boundary."""
+        p = make_problem(hetero_model, lam_frac=0.5, onsite=0.0, q=100.0)
+        levels = (hetero_model.fleet.num_levels - 1).astype(np.int64)
+        billed = distribute_load(p, levels)
+        action_b = FleetAction(levels, billed.per_server_load)
+        power_billed = p.evaluate(action_b).facility_power
+
+        p_free = make_problem(hetero_model, lam_frac=0.5, onsite=1e9, q=100.0)
+        free = distribute_load(p_free, levels)
+        action_f = FleetAction(levels, free.per_server_load)
+        power_free = p_free.evaluate(action_f).facility_power
+
+        if power_free > power_billed + 1e-9:
+            r_mid = 0.5 * (power_billed + power_free)
+            p_mid = make_problem(hetero_model, lam_frac=0.5, onsite=r_mid, q=100.0)
+            dist = distribute_load(p_mid, levels)
+            assert dist.regime == "boundary"
+            action = FleetAction(levels, dist.per_server_load)
+            assert p_mid.evaluate(action).facility_power == pytest.approx(
+                r_mid, rel=1e-5
+            )
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_scipy_on_heterogeneous(self, hetero_model, seed):
+        rng = np.random.default_rng(seed)
+        lam_frac = float(rng.uniform(0.1, 0.9))
+        p = make_problem(
+            hetero_model,
+            lam_frac=lam_frac,
+            onsite=float(rng.uniform(0.0, 0.002)),
+            price=float(rng.uniform(10.0, 80.0)),
+            q=float(rng.choice([0.0, 10.0, 100.0])),
+        )
+        levels = (hetero_model.fleet.num_levels - 1).astype(np.int64)
+        dist = distribute_load(p, levels)
+        ours = p.objective(FleetAction(levels, dist.per_server_load))
+        ref = scipy_reference(p, levels)
+        assert ours <= ref.fun * (1.0 + 1e-6) + 1e-12
+
+    def test_equalizes_marginals_within_group_type(self, tiny_model):
+        """Interior groups share one marginal objective (KKT)."""
+        p = make_problem(tiny_model, lam_frac=0.5)
+        dist = distribute_load(p, np.full(3, 3))
+        loads = dist.per_server_load
+        np.testing.assert_allclose(loads, loads[0], rtol=1e-6)
+
+    def test_cheaper_groups_loaded_first(self, hetero_model):
+        """With q >> 0, groups with lower dynamic energy per request should
+        run at (weakly) higher utilization."""
+        p = make_problem(hetero_model, lam_frac=0.3, q=1e4, price=40.0)
+        levels = (hetero_model.fleet.num_levels - 1).astype(np.int64)
+        dist = distribute_load(p, levels)
+        fleet = hetero_model.fleet
+        coeff = fleet.dyn_coeff[np.arange(2), levels]
+        util = dist.per_server_load / fleet.speed_table[np.arange(2), levels]
+        order = np.argsort(coeff)
+        assert util[order[0]] >= util[order[1]] - 1e-9
+
+
+class TestSolveFixedLevels:
+    def test_returns_consistent_pair(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.4)
+        action, ev = solve_fixed_levels(p, np.full(3, 3))
+        assert ev.objective == pytest.approx(p.objective(action))
+
+    def test_delay_free_problem_fills_cheapest(self, tiny_fleet):
+        """With beta = 0 the objective is linear: all load should go to the
+        configured groups in dynamic-coefficient order."""
+        from repro.core import DataCenterModel
+
+        model = DataCenterModel(fleet=tiny_fleet, beta=0.0)
+        p = model.slot_problem(arrival_rate=50.0, onsite=0.0, price=40.0)
+        dist = distribute_load(p, np.full(3, 3))
+        served = float(np.sum(tiny_fleet.counts * dist.per_server_load))
+        assert served == pytest.approx(50.0)
+        # Homogeneous coefficients: the stable greedy fills group 0 first
+        # (50 req/s over 10 servers, well under the 9.5 req/s cap each).
+        assert dist.per_server_load[0] == pytest.approx(5.0)
+        assert dist.per_server_load[1] == 0.0
+        assert dist.per_server_load[2] == 0.0

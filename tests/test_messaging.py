@@ -1,0 +1,122 @@
+"""Tests for the distributed message-passing substrate and DistributedGSD."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import (
+    BruteForceSolver,
+    DistributedGSD,
+    DualLoadCoordinator,
+    Message,
+    MessageBus,
+    ServerAgent,
+    distribute_load,
+)
+from repro.solvers.messaging import DistributedGSD as _DG
+from tests.conftest import make_problem
+
+
+def build_bus(fleet):
+    bus = MessageBus()
+    agents = [ServerAgent(f"group-{g}", fleet, g) for g in range(fleet.num_groups)]
+    for a in agents:
+        bus.register(a)
+    return bus, agents
+
+
+class TestMessageBus:
+    def test_counts_deliveries(self, tiny_fleet):
+        bus, agents = build_bus(tiny_fleet)
+        bus.send(Message("driver", "group-0", "set_level", {"level": 2}))
+        assert bus.delivered == 1
+        assert bus.by_kind["set_level"] == 1
+
+    def test_unknown_recipient(self, tiny_fleet):
+        bus, _ = build_bus(tiny_fleet)
+        with pytest.raises(KeyError):
+            bus.send(Message("driver", "nope", "set_level", {"level": 0}))
+
+    def test_duplicate_registration_rejected(self, tiny_fleet):
+        bus, agents = build_bus(tiny_fleet)
+        with pytest.raises(ValueError, match="duplicate"):
+            bus.register(agents[0])
+
+    def test_broadcast_reaches_everyone(self, tiny_fleet):
+        bus, agents = build_bus(tiny_fleet)
+        bus.broadcast("driver", "set_level", {"level": 1})
+        assert all(a.level == 1 for a in agents)
+
+    def test_unknown_kind_raises(self, tiny_fleet):
+        bus, _ = build_bus(tiny_fleet)
+        with pytest.raises(ValueError, match="unknown message kind"):
+            bus.send(Message("driver", "group-0", "frobnicate", {}))
+
+
+class TestDualCoordinatorProtocol:
+    @pytest.mark.parametrize("lam_frac", [0.1, 0.5, 0.9])
+    def test_matches_centralized_waterfilling(self, tiny_model, lam_frac):
+        """The message protocol must land on the same loads as the
+        vectorized centralized solver."""
+        p = make_problem(tiny_model, lam_frac=lam_frac, q=10.0)
+        bus, agents = build_bus(tiny_model.fleet)
+        coord = DualLoadCoordinator(bus)
+        coord.configure(p)
+        coord.solve(p)
+        distributed = np.array([a.load for a in agents])
+        central = distribute_load(
+            p, np.array([a.level for a in agents], dtype=np.int64)
+        ).per_server_load
+        np.testing.assert_allclose(distributed, central, rtol=1e-6, atol=1e-9)
+
+    def test_free_regime_with_huge_renewables(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.5, onsite=1e6)
+        bus, agents = build_bus(tiny_model.fleet)
+        coord = DualLoadCoordinator(bus)
+        coord.configure(p)
+        coord.solve(p)
+        served = sum(a.load * a.count for a in agents)
+        assert served == pytest.approx(p.arrival_rate, rel=1e-6)
+
+    def test_agents_only_use_local_state(self, tiny_fleet):
+        """An agent's price response must be computable from its own profile
+        plus broadcast parameters -- it never receives fleet tables."""
+        agent = ServerAgent("solo", tiny_fleet, 0)
+        assert not hasattr(agent, "fleet")
+
+    def test_message_complexity_linear_in_groups(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.4)
+        bus, agents = build_bus(tiny_model.fleet)
+        coord = DualLoadCoordinator(bus)
+        coord.configure(p)
+        coord.solve(p)
+        # configure + price rounds + commit: all O(G) per round.
+        assert bus.by_kind["price"] % tiny_model.fleet.num_groups == 0
+
+
+class TestDistributedGSD:
+    def test_reaches_near_oracle(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.5, q=5.0)
+        bf = BruteForceSolver().solve(p)
+        sol = DistributedGSD(
+            iterations=250, delta=1e4, rng=np.random.default_rng(7)
+        ).solve(p)
+        assert sol.objective <= bf.objective * 1.05 + 1e-12
+
+    def test_reports_message_stats(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.3)
+        sol = DistributedGSD(iterations=50, delta=1e4).solve(p)
+        assert sol.info["messages"] > 0
+        assert "price" in sol.info["messages_by_kind"]
+
+    def test_action_serves_workload(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.6)
+        sol = DistributedGSD(iterations=100, delta=1e4).solve(p)
+        assert sol.action.served_load(tiny_model.fleet) == pytest.approx(
+            p.arrival_rate, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedGSD(iterations=0)
+        with pytest.raises(ValueError):
+            DistributedGSD(delta=0.0)

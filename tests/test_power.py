@@ -1,0 +1,91 @@
+"""Tests for PUE, tariffs, and brown-energy accounting (Eqs. (2)-(3))."""
+
+import pytest
+
+from repro.cluster import LinearTariff, PowerModel, TieredTariff, brown_energy
+
+
+class TestBrownEnergy:
+    def test_positive_part(self):
+        assert brown_energy(10.0, 3.0) == 7.0
+
+    def test_renewables_cover_everything(self):
+        """Eq. (3): no grid draw when on-site supply suffices."""
+        assert brown_energy(2.0, 5.0) == 0.0
+
+    def test_exact_balance(self):
+        assert brown_energy(4.0, 4.0) == 0.0
+
+
+class TestPowerModel:
+    def test_default_pue_is_identity(self):
+        assert PowerModel().facility_power(10.0) == 10.0
+
+    def test_pue_multiplies(self):
+        assert PowerModel(pue=1.3).facility_power(10.0) == pytest.approx(13.0)
+
+    def test_per_call_override(self):
+        assert PowerModel(pue=1.3).facility_power(10.0, pue=1.5) == pytest.approx(15.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(pue=0.9)
+        with pytest.raises(ValueError):
+            PowerModel().facility_power(1.0, pue=0.5)
+
+
+class TestLinearTariff:
+    def test_cost(self):
+        assert LinearTariff().cost(10.0, 40.0) == 400.0
+
+    def test_marginal_is_price(self):
+        assert LinearTariff().marginal(10.0, 40.0) == 40.0
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTariff().cost(-1.0, 40.0)
+
+
+class TestTieredTariff:
+    def make(self):
+        return TieredTariff(thresholds=(10.0, 20.0), multipliers=(1.0, 1.5, 2.0))
+
+    def test_first_tier_matches_linear(self):
+        t = self.make()
+        assert t.cost(5.0, 40.0) == pytest.approx(200.0)
+
+    def test_tier_accumulation(self):
+        t = self.make()
+        # 10 at 1x + 10 at 1.5x + 5 at 2x, all times price 40.
+        assert t.cost(25.0, 40.0) == pytest.approx(40 * (10 + 15 + 10))
+
+    def test_marginal_by_tier(self):
+        t = self.make()
+        assert t.marginal(5.0, 40.0) == 40.0
+        assert t.marginal(15.0, 40.0) == 60.0
+        assert t.marginal(25.0, 40.0) == 80.0
+
+    def test_convexity_enforced(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TieredTariff(thresholds=(10.0,), multipliers=(2.0, 1.0))
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError, match="increasing"):
+            TieredTariff(thresholds=(10.0, 10.0), multipliers=(1.0, 1.0, 1.0))
+
+    def test_multiplier_count_enforced(self):
+        with pytest.raises(ValueError, match="one more"):
+            TieredTariff(thresholds=(10.0,), multipliers=(1.0,))
+
+    def test_continuity_at_thresholds(self):
+        t = self.make()
+        eps = 1e-9
+        assert t.cost(10.0 - eps, 40.0) == pytest.approx(t.cost(10.0 + eps, 40.0), abs=1e-5)
+
+    def test_convex_by_sampling(self):
+        import numpy as np
+
+        t = self.make()
+        xs = np.linspace(0, 30, 121)
+        costs = np.array([t.cost(float(x), 40.0) for x in xs])
+        assert np.all(np.diff(costs, 2) >= -1e-9)

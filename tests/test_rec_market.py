@@ -1,0 +1,89 @@
+"""Tests for dynamic REC purchasing (section 2.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.rec_market import (
+    PurchasingReport,
+    ThresholdRECTrader,
+    evaluate_purchasing,
+    rec_price_trace,
+)
+
+
+class TestRECPriceTrace:
+    def test_positive_and_reproducible(self):
+        a = rec_price_trace(500, seed=1)
+        b = rec_price_trace(500, seed=1)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.values.min() >= 0.25
+
+    def test_mean_in_band(self):
+        trace = rec_price_trace(8760, mean_price=4.0)
+        assert 2.0 < trace.mean < 8.0
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            rec_price_trace(0)
+
+
+class TestThresholdTrader:
+    def test_full_coverage_guaranteed(self):
+        rng = np.random.default_rng(3)
+        brown = rng.uniform(0, 10, 600)
+        prices = rec_price_trace(600, seed=5)
+        trader = ThresholdRECTrader()
+        trader.run(brown, prices.values)
+        assert trader.holdings >= brown.sum() - 1e-9
+
+    def test_buys_below_average(self):
+        """The threshold rule should pay no more than the period-average
+        price (that is its whole point)."""
+        rng = np.random.default_rng(4)
+        brown = rng.uniform(1, 5, 2000)
+        prices = rec_price_trace(2000, seed=6)
+        trader = ThresholdRECTrader(percentile=30.0)
+        trader.run(brown, prices.values)
+        assert trader.average_price_paid() <= prices.mean * 1.02
+
+    def test_stockpiles_with_large_multiple(self):
+        rng = np.random.default_rng(5)
+        brown = rng.uniform(1, 2, 500)
+        prices = rec_price_trace(500, seed=7)
+        small = ThresholdRECTrader(buy_multiple=1.0)
+        big = ThresholdRECTrader(buy_multiple=3.0)
+        small.run(brown, prices.values)
+        big.run(brown, prices.values)
+        assert big.holdings >= small.holdings
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRECTrader(percentile=0.0)
+        with pytest.raises(ValueError):
+            ThresholdRECTrader(window=0)
+        with pytest.raises(ValueError):
+            ThresholdRECTrader(buy_multiple=0.0)
+        with pytest.raises(ValueError):
+            ThresholdRECTrader().run(np.ones(3), np.ones(4))
+
+    def test_zero_brown_buys_nothing(self):
+        trader = ThresholdRECTrader()
+        trader.run(np.zeros(100), rec_price_trace(100).values)
+        assert trader.spent == 0.0
+
+
+class TestEvaluatePurchasing:
+    def test_report_consistency(self):
+        rng = np.random.default_rng(8)
+        brown = rng.uniform(0, 8, 1500)
+        prices = rec_price_trace(1500, seed=9)
+        report = evaluate_purchasing(brown, prices)
+        assert isinstance(report, PurchasingReport)
+        assert report.total_brown == pytest.approx(brown.sum())
+        assert report.prepurchase_cost == pytest.approx(brown.sum() * prices.mean)
+        # Dynamic should not pay more than prepurchase by much.
+        assert report.saving_vs_prepurchase > -0.05
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_purchasing(np.ones(3), rec_price_trace(5))

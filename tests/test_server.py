@@ -1,0 +1,115 @@
+"""Tests for server profiles (paper Eq. (1) and section 5.1 numbers)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import WATT, ServerProfile, cubic_dvfs_profile, opteron_2380
+
+
+class TestOpteron2380:
+    """The paper's measured server (section 5.1)."""
+
+    def test_paper_power_numbers(self):
+        p = opteron_2380()
+        assert p.static_power == pytest.approx(140 * WATT)
+        totals = (p.static_power + p.dynamic_power) / WATT
+        np.testing.assert_allclose(totals, [184, 194, 208, 231])
+
+    def test_max_speed_is_10_req_per_s(self):
+        assert opteron_2380().max_speed == pytest.approx(10.0)
+
+    def test_speeds_proportional_to_frequency(self):
+        p = opteron_2380()
+        np.testing.assert_allclose(
+            p.speeds / p.max_speed, np.array([0.8, 1.3, 1.8, 2.5]) / 2.5
+        )
+
+    def test_power_at_full_load_top_speed(self):
+        p = opteron_2380()
+        assert p.power(10.0, 3) == pytest.approx(231 * WATT)
+
+    def test_power_at_idle_is_static(self):
+        p = opteron_2380()
+        for k in range(p.num_speeds):
+            assert p.power(0.0, k) == pytest.approx(140 * WATT)
+
+    def test_power_linear_in_load(self):
+        """Eq. (1): dynamic power scales with utilization."""
+        p = opteron_2380()
+        half = p.power(5.0, 3)
+        assert half == pytest.approx((140 + 91 / 2) * WATT)
+
+    def test_utilization(self):
+        p = opteron_2380()
+        assert p.utilization(5.0, 3) == pytest.approx(0.5)
+
+    def test_load_beyond_speed_rejected(self):
+        with pytest.raises(ValueError):
+            opteron_2380().power(11.0, 3)
+        with pytest.raises(ValueError):
+            opteron_2380().power(-1.0, 3)
+
+    def test_describe_contains_watts(self):
+        assert "231" in opteron_2380().describe()
+
+
+class TestValidation:
+    def test_speeds_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            ServerProfile("x", 0.0, np.array([2.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_speeds_must_be_positive(self):
+        with pytest.raises(ValueError, match="increasing|positive"):
+            ServerProfile("x", 0.0, np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ServerProfile("x", 0.0, np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_negative_static_power(self):
+        with pytest.raises(ValueError, match="static"):
+            ServerProfile("x", -1.0, np.array([1.0]), np.array([1.0]))
+
+    def test_negative_dynamic_power(self):
+        with pytest.raises(ValueError, match="dynamic"):
+            ServerProfile("x", 0.0, np.array([1.0]), np.array([-1.0]))
+
+    def test_arrays_frozen(self):
+        p = opteron_2380()
+        with pytest.raises(ValueError):
+            p.speeds[0] = 5.0
+
+
+class TestEquality:
+    def test_equal_profiles(self):
+        assert opteron_2380() == opteron_2380()
+        assert hash(opteron_2380()) == hash(opteron_2380())
+
+    def test_unequal_profiles(self):
+        assert opteron_2380() != cubic_dvfs_profile()
+
+    def test_eq_against_other_type(self):
+        assert opteron_2380() != 42
+
+
+class TestCubicProfile:
+    def test_energy_per_request_decreases_at_low_speed(self):
+        """With cubic dynamic power, slower speeds cost less energy per
+        request -- the regime where DVFS is genuinely useful."""
+        p = cubic_dvfs_profile()
+        epr = p.energy_per_request
+        assert np.all(np.diff(epr) > 0)  # increasing in speed
+
+    def test_opteron_energy_per_request_decreases_with_speed(self):
+        """The measured Opteron is the opposite: its top speed is the most
+        efficient (static power dominates), which is why the optimal policy
+        for the paper's fleet is 'top speed or off'."""
+        epr = opteron_2380().energy_per_request
+        assert np.all(np.diff(epr) < 0)
+
+    def test_level_count(self):
+        assert cubic_dvfs_profile(levels=6).num_speeds == 6
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            cubic_dvfs_profile(levels=0)

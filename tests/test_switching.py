@@ -1,0 +1,52 @@
+"""Tests for the switching-cost model (Fig. 5(d) substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import OPTERON_MAX_HOURLY_KWH, SwitchingCostModel
+
+
+class TestFromFraction:
+    def test_paper_normalization(self):
+        """10% of 0.231 kWh = 0.0231 kWh = 2.31e-5 MWh per toggle."""
+        m = SwitchingCostModel.from_fraction(0.10)
+        assert m.energy_per_toggle == pytest.approx(2.31e-5)
+
+    def test_zero_fraction_disabled(self):
+        m = SwitchingCostModel.from_fraction(0.0)
+        assert not m.enabled
+        assert m.energy(np.array([0.0]), np.array([100.0])) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchingCostModel.from_fraction(-0.1)
+        with pytest.raises(ValueError):
+            SwitchingCostModel(energy_per_toggle=-1.0)
+
+
+class TestTransitionCounting:
+    def test_power_on_only_by_default(self):
+        m = SwitchingCostModel(energy_per_toggle=1.0)
+        prev = np.array([10.0, 20.0])
+        new = np.array([15.0, 5.0])
+        # 5 turned on in group 0; 15 turned off in group 1 (not charged).
+        assert m.transition_count(prev, new) == 5.0
+
+    def test_charge_off_counts_both(self):
+        m = SwitchingCostModel(energy_per_toggle=1.0, charge_off=True)
+        prev = np.array([10.0, 20.0])
+        new = np.array([15.0, 5.0])
+        assert m.transition_count(prev, new) == 20.0
+
+    def test_no_change_no_cost(self):
+        m = SwitchingCostModel(energy_per_toggle=1.0, charge_off=True)
+        same = np.array([7.0, 3.0])
+        assert m.energy(same, same) == 0.0
+
+    def test_energy_scales_with_toggle_cost(self):
+        m = SwitchingCostModel(energy_per_toggle=0.5)
+        assert m.energy(np.array([0.0]), np.array([4.0])) == pytest.approx(2.0)
+
+    def test_cold_start_charges_all(self):
+        m = SwitchingCostModel(energy_per_toggle=1.0)
+        assert m.energy(np.zeros(3), np.array([10.0, 0.0, 5.0])) == 15.0

@@ -1,0 +1,127 @@
+"""Tests for the weather-driven time-varying PUE (footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CarbonUnaware, OfflineOptimal
+from repro.cluster.thermal import pue_from_temperature, temperature_trace
+from repro.sim import Environment, simulate
+from repro.solvers.batch import batch_enumerate
+from repro.traces import Trace
+
+
+class TestTemperatureTrace:
+    def test_reproducible(self):
+        a = temperature_trace(500, seed=1)
+        b = temperature_trace(500, seed=1)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seasonal_structure(self):
+        t = temperature_trace(8760, seed=2)
+        daily = t.values[: 364 * 24].reshape(-1, 24).mean(axis=1)
+        july = daily[182:213].mean()
+        january = daily[:31].mean()
+        assert july > january + 5.0
+
+    def test_diurnal_structure(self):
+        t = temperature_trace(24 * 60, seed=2)
+        profile = t.daily_profile()
+        assert profile[15] > profile[4]
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            temperature_trace(0)
+
+
+class TestPUEMap:
+    def test_floor_below_threshold(self):
+        temp = Trace(np.array([5.0, 10.0, 18.0]))
+        pue = pue_from_temperature(temp, base_pue=1.1, free_cooling_threshold=18.0)
+        np.testing.assert_allclose(pue.values, 1.1)
+
+    def test_linear_above_threshold(self):
+        temp = Trace(np.array([20.0, 28.0]))
+        pue = pue_from_temperature(
+            temp, base_pue=1.1, free_cooling_threshold=18.0, slope_per_degree=0.02
+        )
+        np.testing.assert_allclose(pue.values, [1.14, 1.3])
+
+    def test_saturation(self):
+        temp = Trace(np.array([100.0]))
+        pue = pue_from_temperature(temp, max_pue=1.5)
+        assert pue.values[0] == 1.5
+
+    def test_validation(self):
+        temp = Trace(np.ones(3) * 20.0)
+        with pytest.raises(ValueError):
+            pue_from_temperature(temp, base_pue=0.9)
+        with pytest.raises(ValueError):
+            pue_from_temperature(temp, base_pue=1.5, max_pue=1.2)
+        with pytest.raises(ValueError):
+            pue_from_temperature(temp, slope_per_degree=-0.1)
+
+
+class TestTimeVaryingPUEEndToEnd:
+    def _env_with_pue(self, scenario, pue_values):
+        return Environment(
+            workload=scenario.environment.workload,
+            portfolio=scenario.environment.portfolio,
+            price=scenario.environment.price,
+            pue=Trace(pue_values),
+        )
+
+    def test_constant_override_matches_scaled_power(self, week_scenario):
+        sc = week_scenario
+        env = self._env_with_pue(sc, np.full(sc.horizon, 1.4))
+        base = simulate(sc.model, CarbonUnaware(sc.model), sc.environment)
+        hot = simulate(sc.model, CarbonUnaware(sc.model), env)
+        # Facility power strictly above the PUE=1 run whenever IT power > 0.
+        mask = hot.it_power > 0
+        assert np.all(
+            hot.facility_power[mask] >= 1.4 * hot.it_power[mask] * (1 - 1e-12)
+        )
+        assert hot.total_brown > base.total_brown
+
+    def test_pue_below_one_rejected(self, week_scenario):
+        sc = week_scenario
+        with pytest.raises(ValueError, match=">= 1"):
+            self._env_with_pue(sc, np.full(sc.horizon, 0.8))
+
+    def test_batch_sweep_pue_array_matches_scalar(self, tiny_model):
+        rng = np.random.default_rng(3)
+        n = 32
+        lam = rng.uniform(0, 0.8, n) * tiny_model.fleet.capacity(tiny_model.gamma)
+        onsite = np.zeros(n)
+        price = rng.uniform(20, 60, n)
+        scalar = batch_enumerate(tiny_model, lam, onsite, price, pue=1.3)
+        array = batch_enumerate(
+            tiny_model, lam, onsite, price, pue=np.full(n, 1.3)
+        )
+        np.testing.assert_allclose(scalar.objective, array.objective)
+        np.testing.assert_allclose(scalar.brown_energy, array.brown_energy)
+
+    def test_higher_pue_more_brown(self, tiny_model):
+        rng = np.random.default_rng(4)
+        n = 24
+        lam = rng.uniform(0.2, 0.8, n) * tiny_model.fleet.capacity(tiny_model.gamma)
+        onsite = np.zeros(n)
+        price = np.full(n, 40.0)
+        cool = batch_enumerate(tiny_model, lam, onsite, price, pue=1.1)
+        hot = batch_enumerate(tiny_model, lam, onsite, price, pue=1.6)
+        assert hot.total_brown > cool.total_brown
+
+    def test_opt_respects_budget_under_pue_trace(self, week_scenario):
+        sc = week_scenario
+        pue = pue_from_temperature(
+            temperature_trace(sc.horizon, seed=5), base_pue=1.1
+        )
+        env = Environment(
+            workload=sc.environment.workload,
+            portfolio=sc.environment.portfolio,
+            price=sc.environment.price,
+            pue=pue,
+        )
+        budget = 1.05 * sc.budget  # PUE overhead needs some slack
+        opt = OfflineOptimal(sc.model, budget=budget, alpha=sc.alpha)
+        record = simulate(sc.model, opt, env)
+        assert record.total_brown <= budget * (1 + 1e-6)
