@@ -24,6 +24,7 @@ Package layout (see DESIGN.md for the full inventory):
 - :mod:`repro.sim` -- slot simulator, metrics, event-level PS queues.
 - :mod:`repro.baselines` -- carbon-unaware, PerfectHP, OPT, T-step lookahead.
 - :mod:`repro.analysis` -- sweeps, summaries, table rendering.
+- :mod:`repro.telemetry` -- structured tracing, metrics, profiling hooks.
 """
 
 from .baselines import CarbonUnaware, OfflineOptimal, PerfectHP, TStepLookahead
@@ -58,6 +59,13 @@ from .solvers import (
     GSDSolver,
     HomogeneousEnumerationSolver,
     SlotProblem,
+)
+from .telemetry import (
+    InMemoryTracer,
+    JsonlTracer,
+    MetricsRegistry,
+    Telemetry,
+    read_jsonl_events,
 )
 from .traces import Trace, fiu_workload, msr_workload, price_trace
 
@@ -105,4 +113,9 @@ __all__ = [
     "fiu_workload",
     "msr_workload",
     "price_trace",
+    "Telemetry",
+    "MetricsRegistry",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "read_jsonl_events",
 ]

@@ -52,6 +52,7 @@ def scenario_report(
     v: float | None = None,
     include_opt: bool = True,
     v_iters: int = 9,
+    telemetry=None,
 ) -> str:
     """Run the core comparison and return the markdown report text."""
     env = scenario.environment
@@ -91,13 +92,17 @@ def scenario_report(
     )
 
     # Controllers.
-    unaware = simulate(scenario.model, CarbonUnaware(scenario.model), env)
+    unaware = simulate(
+        scenario.model, CarbonUnaware(scenario.model), env, telemetry=telemetry
+    )
     v_used = v if v is not None else find_neutral_v(scenario, iters=v_iters)
-    coca_record, coca = run_coca(scenario, v_used)
+    coca_record, coca = run_coca(scenario, v_used, telemetry=telemetry)
     records = [("carbon-unaware", unaware), ("COCA", coca_record)]
     if include_opt:
         opt = OfflineOptimal(scenario.model, budget=scenario.budget, alpha=scenario.alpha)
-        records.append(("OPT (offline)", simulate(scenario.model, opt, env)))
+        records.append(
+            ("OPT (offline)", simulate(scenario.model, opt, env, telemetry=telemetry))
+        )
 
     lines.append(f"## Controllers (COCA V = {v_used:.4g})\n")
     rows = []

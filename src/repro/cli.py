@@ -10,18 +10,24 @@ quickstart     COCA vs carbon-unaware on one scenario (the README demo)
 sweep-v        Fig. 2(a,b): cost/deficit vs constant V
 compare-hp     Fig. 3: COCA vs PerfectHP
 budget-sweep   Fig. 5(a,b): normalized cost vs carbon budget
+report         full markdown scenario report
 traces         summarize any of the synthetic trace generators
+telemetry      summarize a JSONL event trace written by ``--trace-out``
 =============  ==========================================================
 
-All commands accept ``--scale {small,paper}`` (a 400-server fortnight vs
-the 216 K-server year), ``--horizon`` to override the number of hourly
-slots, and ``--workload {fiu,msr}``.
+Scenario commands accept ``--scale {small,paper}`` (a 400-server fortnight
+vs the 216 K-server year), ``--horizon`` to override the number of hourly
+slots, and ``--workload {fiu,msr}``.  Every subcommand additionally takes
+the global observability flags ``--trace-out FILE`` (stream a JSONL event
+trace of the run) and ``--metrics-out FILE`` (write a metrics snapshot:
+``.md`` renders markdown, anything else CSV); see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 import numpy as np
@@ -45,6 +51,50 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         default=0.92,
         help="carbon budget as a fraction of the carbon-unaware usage",
     )
+
+
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The global observability flags, attached to every subcommand."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="stream a JSONL event trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a metrics snapshot to FILE (.md = markdown, else CSV)",
+    )
+
+
+@contextmanager
+def _telemetry_scope(args):
+    """Yield a Telemetry wired to the requested outputs, or None.
+
+    On exit, closes the trace stream and writes the metrics snapshot, then
+    reports where everything went -- so every subcommand gets the flags'
+    behaviour from one place.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        yield None
+        return
+    from .telemetry import JsonlTracer, Telemetry, write_metrics
+
+    tracer = JsonlTracer(trace_out) if trace_out else None
+    telemetry = Telemetry(tracer=tracer)
+    try:
+        yield telemetry
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {trace_out} ({tracer.count} events)")
+        if metrics_out:
+            write_metrics(telemetry.metrics, metrics_out)
+            print(f"metrics written to {metrics_out}")
 
 
 def _build_scenario(args):
@@ -78,8 +128,14 @@ def _cmd_quickstart(args) -> int:
     )
     v = args.v if args.v is not None else find_neutral_v(scenario, iters=args.v_iters)
     print(f"V = {v:.4g}" + ("" if args.v is not None else " (auto-tuned for neutrality)"))
-    unaware = simulate(scenario.model, CarbonUnaware(scenario.model), scenario.environment)
-    record, _ = run_coca(scenario, v)
+    with _telemetry_scope(args) as telemetry:
+        unaware = simulate(
+            scenario.model,
+            CarbonUnaware(scenario.model),
+            scenario.environment,
+            telemetry=telemetry,
+        )
+        record, _ = run_coca(scenario, v, telemetry=telemetry)
     rows = compare_records([unaware, record], portfolio, alpha=scenario.alpha)
     print(render_table(rows, title="carbon-unaware vs COCA"))
     return 0
@@ -90,7 +146,10 @@ def _cmd_sweep_v(args) -> int:
 
     scenario = _build_scenario(args)
     values = [float(v) for v in args.values.split(",")]
-    rows = sweep_constant_v(scenario, values)
+    with _telemetry_scope(args) as telemetry:
+        rows = sweep_constant_v(
+            scenario, values, workers=args.workers, telemetry=telemetry
+        )
     print(render_table(rows, title="Fig. 2(a,b): impact of constant V"))
     return 0
 
@@ -100,7 +159,8 @@ def _cmd_compare_hp(args) -> int:
 
     scenario = _build_scenario(args)
     v = args.v if args.v is not None else find_neutral_v(scenario, iters=args.v_iters)
-    cmp = compare_with_perfecthp(scenario, v)
+    with _telemetry_scope(args) as telemetry:
+        cmp = compare_with_perfecthp(scenario, v, telemetry=telemetry)
     print(f"COCA (V={v:.4g}) vs PerfectHP: cost saving {100 * cmp['cost_saving']:.1f}%")
     rows = time_bucket_rows(
         [cmp["coca"], cmp["perfecthp"]],
@@ -117,9 +177,15 @@ def _cmd_budget_sweep(args) -> int:
 
     scenario = _build_scenario(args)
     fractions = [float(f) for f in args.fractions.split(",")]
-    rows = budget_sweep(
-        scenario, fractions, include_opt=not args.no_opt, v_iters=args.v_iters
-    )
+    with _telemetry_scope(args) as telemetry:
+        rows = budget_sweep(
+            scenario,
+            fractions,
+            include_opt=not args.no_opt,
+            v_iters=args.v_iters,
+            workers=args.workers,
+            telemetry=telemetry,
+        )
     print(render_table(rows, title="Fig. 5: normalized cost vs carbon budget"))
     return 0
 
@@ -128,9 +194,14 @@ def _cmd_report(args) -> int:
     from .analysis.report import scenario_report
 
     scenario = _build_scenario(args)
-    text = scenario_report(
-        scenario, v=args.v, include_opt=not args.no_opt, v_iters=args.v_iters
-    )
+    with _telemetry_scope(args) as telemetry:
+        text = scenario_report(
+            scenario,
+            v=args.v,
+            include_opt=not args.no_opt,
+            v_iters=args.v_iters,
+            telemetry=telemetry,
+        )
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
@@ -158,6 +229,28 @@ def _cmd_traces(args) -> int:
     peak_hour = int(np.argmax(profile))
     print(f"daily profile peak at hour {peak_hour:02d}:00 "
           f"(x{profile[peak_hour] / profile.mean():.2f} of the daily mean)")
+    with _telemetry_scope(args) as telemetry:
+        if telemetry is not None:
+            telemetry.emit(
+                "trace.generated",
+                trace=trace.name,
+                horizon=len(trace),
+                mean=float(trace.values.mean()),
+                peak=float(trace.values.max()),
+                peak_hour=peak_hour,
+            )
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from .telemetry import read_jsonl_events, render_trace_summary
+
+    try:
+        events = read_jsonl_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"repro telemetry: {exc}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(events, title=args.trace))
     return 0
 
 
@@ -172,17 +265,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("quickstart", help="COCA vs carbon-unaware")
     _add_scenario_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--v", type=float, default=None, help="fixed V (default: auto)")
     p.add_argument("--v-iters", type=int, default=9)
     p.set_defaults(func=_cmd_quickstart)
 
     p = sub.add_parser("sweep-v", help="Fig. 2(a,b): V sweep")
     _add_scenario_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--values", default="0.001,0.01,0.1,1,10,100")
+    p.add_argument(
+        "--workers", type=int, default=None, help="parallel processes for the sweep"
+    )
     p.set_defaults(func=_cmd_sweep_v)
 
     p = sub.add_parser("compare-hp", help="Fig. 3: COCA vs PerfectHP")
     _add_scenario_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--v", type=float, default=None)
     p.add_argument("--v-iters", type=int, default=9)
     p.add_argument("--buckets", type=int, default=10)
@@ -190,13 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("budget-sweep", help="Fig. 5: budget sweep")
     _add_scenario_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--fractions", default="0.85,0.95,1.0")
     p.add_argument("--no-opt", action="store_true", help="skip the OPT baseline")
     p.add_argument("--v-iters", type=int, default=8)
+    p.add_argument(
+        "--workers", type=int, default=None, help="parallel processes for the sweep"
+    )
     p.set_defaults(func=_cmd_budget_sweep)
 
     p = sub.add_parser("report", help="full markdown scenario report")
     _add_scenario_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--v", type=float, default=None)
     p.add_argument("--v-iters", type=int, default=9)
     p.add_argument("--no-opt", action="store_true")
@@ -204,10 +308,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("traces", help="summarize a synthetic trace")
+    _add_telemetry_args(p)
     p.add_argument("kind", choices=["fiu", "msr", "solar", "wind", "price", "rec-price"])
     p.add_argument("--horizon", type=int, default=None)
     p.add_argument("--seed", type=int, default=None)
     p.set_defaults(func=_cmd_traces)
+
+    p = sub.add_parser("telemetry", help="summarize a JSONL event trace")
+    _add_telemetry_args(p)
+    p.add_argument("trace", help="path to a trace written with --trace-out")
+    p.set_defaults(func=_cmd_telemetry)
 
     return parser
 

@@ -94,6 +94,13 @@ class COCA(Controller):
         self._frame_slots = 0
 
     # ------------------------------------------------------------------
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the run's telemetry and propagate it to the P3 engine."""
+        super().bind_telemetry(telemetry)
+        bind = getattr(self.solver, "bind_telemetry", None)
+        if bind is not None:
+            bind(telemetry)
+
     @property
     def effective_frame_length(self) -> int:
         """``T``; the full horizon when no frame length was given."""
@@ -143,11 +150,25 @@ class COCA(Controller):
 
     def observe(self, outcome: SlotOutcome) -> None:
         brown = outcome.evaluation.brown_energy
+        queue_before = self.queue.length
         self.queue.update(brown, outcome.offsite)
         z = self.queue.rec_per_slot
         self._frame_cost += outcome.evaluation.cost
         self._frame_deficit += brown - self.alpha * outcome.offsite - z
         self._frame_slots += 1
+        tele = self.telemetry
+        if tele.enabled:
+            tele.emit(
+                "queue.update",
+                t=outcome.t,
+                before=queue_before,
+                after=self.queue.length,
+                brown=brown,
+                offsite=outcome.offsite,
+                rec_per_slot=z,
+                v=self._current_v,
+            )
+            tele.metrics.gauge("sim.queue_depth").set(self.queue.length)
 
     def name(self) -> str:
         return "COCA"

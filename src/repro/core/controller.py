@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..solvers.base import SlotSolution
 from ..solvers.problem import SlotEvaluation
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.environment import Environment
@@ -49,6 +50,17 @@ class SlotOutcome:
 
 class Controller(ABC):
     """Per-slot decision strategy."""
+
+    #: Observability handle; the simulator rebinds it per run.  The default
+    #: is the shared no-op, so controllers may emit unconditionally cheap
+    #: telemetry or guard expensive payloads with ``self.telemetry.enabled``.
+    telemetry: Telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach the run's telemetry; called by :func:`repro.sim.simulate`.
+        Controllers owning sub-components (e.g. a P3 solver) override this
+        to propagate the handle."""
+        self.telemetry = telemetry
 
     def start(self, environment: "Environment") -> None:
         """Called once before the run.  Online controllers should only read

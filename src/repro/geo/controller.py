@@ -24,6 +24,7 @@ import numpy as np
 from ..core.deficit_queue import CarbonDeficitQueue
 from ..core.vschedule import ConstantV, VSchedule
 from ..solvers.base import SlotSolver
+from ..telemetry import Telemetry, coerce
 from ..traces.base import Trace
 from .dispatch import DispatchResult, dispatch_slot, proportional_shares
 from .site import Site
@@ -98,6 +99,10 @@ class GeoCOCA:
         Transfer rounds per slot for the dispatcher.
     solvers:
         Optional per-site P3 engines.
+    telemetry:
+        Optional observability handle: each slot emits a ``geo.dispatch``
+        event (load split, queue, realized cost/brown) and times the
+        dispatch into the ``geo.dispatch_time_s`` histogram.
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class GeoCOCA:
         frame_length: int | None = None,
         dispatch_rounds: int = 24,
         solvers: Sequence[SlotSolver] | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if isinstance(v_schedule, (int, float)):
             v_schedule = ConstantV(float(v_schedule))
@@ -116,6 +122,12 @@ class GeoCOCA:
         self.frame_length = frame_length
         self.dispatch_rounds = dispatch_rounds
         self.solvers = list(solvers) if solvers is not None else None
+        self.telemetry = coerce(telemetry)
+        if self.solvers is not None:
+            for solver in self.solvers:
+                bind = getattr(solver, "bind_telemetry", None)
+                if bind is not None:
+                    bind(self.telemetry)
         self.queue = CarbonDeficitQueue(
             alpha=environment.alpha,
             rec_per_slot=environment.alpha * environment.recs / environment.horizon,
@@ -129,17 +141,30 @@ class GeoCOCA:
         if t % T == 0:
             self.queue.reset()
         v = self.v_schedule.value(t // T)
-        result = dispatch_slot(
-            self.environment.sites,
-            t,
-            self.environment.workload[t],
-            q=self.queue.length,
-            V=v,
-            prev_on=self._prev_on,
-            solvers=self.solvers,
-            rounds=self.dispatch_rounds,
-            initial_shares=self._warm_start(t),
-        )
+        with self.telemetry.timer("geo.dispatch_time_s") as dispatch_timer:
+            result = dispatch_slot(
+                self.environment.sites,
+                t,
+                self.environment.workload[t],
+                q=self.queue.length,
+                V=v,
+                prev_on=self._prev_on,
+                solvers=self.solvers,
+                rounds=self.dispatch_rounds,
+                initial_shares=self._warm_start(t),
+            )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "geo.dispatch",
+                t=t,
+                load=float(self.environment.workload[t]),
+                queue=self.queue.length,
+                v=v,
+                shares=[float(s) for s in result.shares],
+                cost=float(sum(sol.cost for sol in result.solutions)),
+                brown=result.total_brown,
+                solve_time_s=dispatch_timer.elapsed,
+            )
         self._prev_on = [
             sol.action.on_counts(site.model.fleet)
             for sol, site in zip(result.solutions, self.environment.sites)
@@ -164,7 +189,19 @@ class GeoCOCA:
 
     def observe(self, t: int, result: DispatchResult) -> None:
         """End-of-slot queue update with the realized off-site supply."""
+        before = self.queue.length
         self.queue.update(result.total_brown, self.environment.offsite[t])
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "queue.update",
+                t=t,
+                before=before,
+                after=self.queue.length,
+                brown=result.total_brown,
+                offsite=float(self.environment.offsite[t]),
+                rec_per_slot=self.queue.rec_per_slot,
+            )
+            self.telemetry.metrics.gauge("geo.queue_depth").set(self.queue.length)
 
     def name(self) -> str:
         return "GeoCOCA"

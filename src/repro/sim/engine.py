@@ -23,6 +23,7 @@ import numpy as np
 from ..cluster.fleet import FleetAction
 from ..core.config import DataCenterModel
 from ..core.controller import Controller, SlotOutcome
+from ..telemetry import Telemetry, coerce
 from .environment import Environment
 from .metrics import SimulationRecord
 
@@ -82,14 +83,27 @@ def simulate(
     model: DataCenterModel,
     controller: Controller,
     environment: Environment,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> SimulationRecord:
     """Run ``controller`` over the full budgeting period.
 
     Returns the :class:`SimulationRecord` with every per-slot outcome; the
     controller's own diagnostics (deficit queue, applied ``V``) are attached
     when the controller exposes ``queue_at_decision`` / ``v_history``.
+
+    ``telemetry`` attaches the run's observability: ``slot.decision`` /
+    ``slot.outcome`` / ``slot.dropped`` events, a ``sim.solve_time_s``
+    histogram around each decision, and run counters.  The handle is also
+    bound onto the controller (which propagates it to its P3 solver), so one
+    argument instruments the whole stack.  The default is a no-op and leaves
+    results bit-identical.
     """
     J = environment.horizon
+    tele = coerce(telemetry)
+    bind = getattr(controller, "bind_telemetry", None)
+    if bind is not None:
+        bind(tele)
     controller.start(environment)
 
     cols: dict[str, list[float]] = {
@@ -113,7 +127,8 @@ def simulate(
 
     for t in range(J):
         obs = environment.observation(t)
-        solution = controller.decide(obs)
+        with tele.timer("sim.solve_time_s") as solve_timer:
+            solution = controller.decide(obs)
         actual = environment.actual_arrival(t)
         realized, dropped = realize_action(
             model, solution.action, actual, obs.arrival_rate
@@ -134,6 +149,39 @@ def simulate(
         controller.observe(
             SlotOutcome(t=t, evaluation=evaluation, offsite=environment.offsite(t))
         )
+
+        if tele.enabled:
+            tele.emit(
+                "slot.decision",
+                t=t,
+                arrival_predicted=obs.arrival_rate,
+                onsite=obs.onsite,
+                price=obs.price,
+                objective=solution.objective,
+                planned_cost=solution.cost,
+                active_servers=solution.action.active_servers(model.fleet),
+                solve_time_s=solve_timer.elapsed,
+            )
+            tele.emit(
+                "slot.outcome",
+                t=t,
+                cost=evaluation.cost,
+                electricity_cost=evaluation.electricity_cost,
+                delay_cost=evaluation.delay_cost,
+                brown_energy=evaluation.brown_energy,
+                switching_energy=evaluation.switching_energy,
+                arrival_actual=actual,
+                served=realized.served_load(model.fleet),
+                dropped=dropped,
+            )
+            if dropped > 0.0:
+                tele.emit("slot.dropped", t=t, dropped=dropped)
+                tele.metrics.counter("sim.dropped_load").inc(dropped)
+            metrics = tele.metrics
+            metrics.counter("sim.slots").inc()
+            metrics.counter("sim.cost_dollars").inc(evaluation.cost)
+            metrics.counter("sim.brown_energy_mwh").inc(evaluation.brown_energy)
+            metrics.gauge("sim.brown_energy_rate").set(evaluation.brown_energy)
 
         cols["it_power"].append(evaluation.it_power)
         cols["facility_power"].append(evaluation.facility_power)

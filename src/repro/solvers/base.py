@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..cluster.fleet import FleetAction
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .problem import SlotEvaluation, SlotProblem
 
 __all__ = ["SlotSolution", "SlotSolver"]
@@ -49,6 +50,15 @@ class SlotSolution:
 
 class SlotSolver(ABC):
     """Strategy interface: minimize Eq. (16) subject to (7)-(9)."""
+
+    #: Observability handle; a no-op unless a controller or caller rebinds
+    #: it.  Instrumented engines guard with ``self.telemetry.enabled`` so
+    #: the default costs nothing on the hot path.
+    telemetry: Telemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach a run's telemetry (propagated by the owning controller)."""
+        self.telemetry = telemetry
 
     @abstractmethod
     def solve(self, problem: SlotProblem) -> SlotSolution:

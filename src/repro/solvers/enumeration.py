@@ -27,6 +27,8 @@ makes one speed dominate at any given load).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..cluster.fleet import FleetAction
@@ -52,6 +54,17 @@ class HomogeneousEnumerationSolver(SlotSolver):
         self.switching_aware = switching_aware
 
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        tele = self.telemetry
+        started = time.perf_counter() if tele.enabled else 0.0
+        solution = self._solve(problem)
+        if tele.enabled:
+            tele.metrics.histogram("enum.solve_time_s").observe(
+                time.perf_counter() - started
+            )
+            tele.metrics.counter("enum.solves").inc()
+        return solution
+
+    def _solve(self, problem: SlotProblem) -> SlotSolution:
         fleet = problem.fleet
         if not fleet.is_homogeneous:
             raise ValueError(

@@ -30,6 +30,7 @@ Fig. 4.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -113,6 +114,11 @@ class GSDSolver(SlotSolver):
         GSD, while those failed servers do not intervene the execution":
         failed groups are pinned to the zero speed, never selected for
         exploration, and carry no load.
+    log_interval:
+        When telemetry is bound, a ``gsd.iteration`` summary event (chain
+        and best objective, temperature, windowed acceptance rate) is
+        emitted every ``log_interval`` iterations.  Without telemetry the
+        interval is ignored and the chain runs exactly as before.
     """
 
     def __init__(
@@ -124,11 +130,14 @@ class GSDSolver(SlotSolver):
         initial_levels: Sequence[int] | np.ndarray | None = None,
         record_history: bool = False,
         failed_groups: Sequence[int] | None = None,
+        log_interval: int = 100,
     ):
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if not callable(delta) and delta <= 0:
             raise ValueError("temperature delta must be positive")
+        if log_interval < 1:
+            raise ValueError("log_interval must be >= 1")
         self.iterations = iterations
         self.delta = delta
         self.rng = rng if rng is not None else np.random.default_rng(1)
@@ -138,6 +147,7 @@ class GSDSolver(SlotSolver):
             else np.asarray(initial_levels, dtype=np.int64).copy()
         )
         self.record_history = record_history
+        self.log_interval = log_interval
         self.failed_groups = (
             np.unique(np.asarray(failed_groups, dtype=np.int64))
             if failed_groups is not None
@@ -213,6 +223,25 @@ class GSDSolver(SlotSolver):
         hist_acc = np.zeros(self.iterations, dtype=bool)
         hist_temp = np.empty(self.iterations)
         n_solves = 0
+        last_improve = 0
+
+        tele = self.telemetry
+        started = time.perf_counter() if tele.enabled else 0.0
+
+        def _log_window(it: int) -> None:
+            """Iteration-summary event at the end of each logging interval."""
+            if not tele.enabled or (it + 1) % self.log_interval != 0:
+                return
+            lo = it + 1 - self.log_interval
+            tele.emit(
+                "gsd.iteration",
+                iteration=it + 1,
+                chain_objective=float(hist_chain[it]),
+                best_objective=float(hist_best[it]),
+                temperature=float(hist_temp[it]),
+                acceptance_rate=float(hist_acc[lo : it + 1].mean()),
+                window=self.log_interval,
+            )
 
         for it in range(self.iterations):
             delta = self._temperature(it)
@@ -225,6 +254,7 @@ class GSDSolver(SlotSolver):
             old_level = levels[g]
             if proposal == old_level:
                 hist_chain[it], hist_best[it] = current, best
+                _log_window(it)
                 continue
             levels[g] = proposal
             explored = self._objective_of(problem, levels)
@@ -247,9 +277,30 @@ class GSDSolver(SlotSolver):
                 if explored < best:
                     best = explored
                     best_levels = levels.copy()
+                    last_improve = it + 1
             else:
                 levels[g] = old_level
             hist_chain[it], hist_best[it] = current, best
+            _log_window(it)
+
+        if tele.enabled:
+            elapsed = time.perf_counter() - started
+            acceptance = float(hist_acc.mean())
+            metrics = tele.metrics
+            metrics.counter("gsd.solves").inc()
+            metrics.counter("gsd.inner_solves").inc(n_solves)
+            metrics.histogram("gsd.solve_time_s").observe(elapsed)
+            metrics.histogram("gsd.iterations_to_convergence").observe(last_improve)
+            metrics.histogram("gsd.acceptance_rate").observe(acceptance)
+            tele.emit(
+                "gsd.solve",
+                iterations=self.iterations,
+                inner_solves=n_solves,
+                best_objective=float(best),
+                acceptance_rate=acceptance,
+                iterations_to_convergence=last_improve,
+                solve_time_s=elapsed,
+            )
 
         dist = distribute_load(problem, best_levels)
         action = FleetAction(levels=best_levels, per_server_load=dist.per_server_load)

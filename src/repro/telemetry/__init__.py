@@ -1,0 +1,53 @@
+"""Telemetry: structured tracing, metrics, and profiling for the pipeline.
+
+The subsystem has three layers, bundled by :class:`Telemetry`:
+
+- **Tracing** (:mod:`~repro.telemetry.tracer`): structured per-slot events
+  -- controller decisions, deficit-queue updates, realized outcomes,
+  dropped load, GSD iteration summaries -- streamed to memory or JSONL.
+- **Metrics** (:mod:`~repro.telemetry.metrics`): counters, gauges, and
+  exact-percentile histograms in a name-keyed registry.
+- **Profiling** (:mod:`~repro.telemetry.timing`): scoped wall-clock timers
+  wired into the hot paths (P3 solves, the slot loop, geo dispatch).
+
+Everything is opt-in: ``simulate()``, the solvers, and the sweep drivers
+take ``telemetry=None``, and the disabled default (:data:`NULL_TELEMETRY`)
+is a true no-op, so uninstrumented runs are bit-identical to a build
+without this package.  See ``docs/OBSERVABILITY.md`` for the event schema
+and metric names.
+"""
+
+from .bundle import NULL_TELEMETRY, Telemetry, coerce
+from .exporters import (
+    metrics_to_markdown,
+    read_jsonl_events,
+    write_jsonl_events,
+    write_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summary import render_trace_summary, trace_summary_tables
+from .timing import NULL_TIMER, ScopedTimer
+from .tracer import NULL_TRACER, InMemoryTracer, JsonlTracer, NullTracer, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "coerce",
+    "Tracer",
+    "NullTracer",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ScopedTimer",
+    "NULL_TIMER",
+    "read_jsonl_events",
+    "write_jsonl_events",
+    "metrics_to_markdown",
+    "write_metrics",
+    "trace_summary_tables",
+    "render_trace_summary",
+]

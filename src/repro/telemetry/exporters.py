@@ -1,0 +1,106 @@
+"""Exporters: read traces back, snapshot metrics to CSV or markdown.
+
+The JSONL trace format is self-describing (every line is one event dict
+with a ``kind``), so round-tripping is just ``json.loads`` per line.
+Metrics snapshots flatten :meth:`MetricsRegistry.snapshot_rows` into either
+CSV (machine consumption) or a markdown table (reports); ``write_metrics``
+picks by file extension.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "read_jsonl_events",
+    "write_jsonl_events",
+    "metrics_to_markdown",
+    "write_metrics",
+]
+
+#: Column order of a metrics snapshot (union over instrument types).
+_SNAPSHOT_COLUMNS = (
+    "metric",
+    "type",
+    "value",
+    "count",
+    "mean",
+    "p50",
+    "p90",
+    "p99",
+    "max",
+)
+
+
+def read_jsonl_events(path: str) -> list[dict]:
+    """Load a JSONL trace written by :class:`~repro.telemetry.tracer.JsonlTracer`."""
+    events: list[dict] = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSONL event") from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(f"{path}:{line_no}: event must be a dict with a 'kind'")
+            events.append(event)
+    return events
+
+
+def write_jsonl_events(events: list[dict], path: str) -> None:
+    """Write events (dicts with a ``kind``) as a JSONL trace file."""
+    from .tracer import JsonlTracer
+
+    with JsonlTracer(path) as tracer:
+        for event in events:
+            fields = dict(event)
+            kind = fields.pop("kind")
+            tracer.emit(kind, **fields)
+
+
+def _snapshot_table(registry: MetricsRegistry) -> tuple[list[str], list[dict]]:
+    rows = registry.snapshot_rows()
+    used = [c for c in _SNAPSHOT_COLUMNS if any(c in row for row in rows)]
+    return used, rows
+
+
+def metrics_to_markdown(registry: MetricsRegistry, *, title: str | None = None) -> str:
+    """Render the registry snapshot as a markdown table."""
+    columns, rows = _snapshot_table(registry)
+    lines: list[str] = []
+    if title:
+        lines.append(f"# {title}\n")
+    if not rows:
+        lines.append("(no metrics recorded)")
+        return "\n".join(lines) + "\n"
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.6g}"
+        return str(v)
+
+    lines.append("| " + " | ".join(columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Snapshot the registry to ``path``: markdown for ``.md``, else CSV."""
+    if str(path).endswith(".md"):
+        with open(path, "w") as fh:
+            fh.write(metrics_to_markdown(registry, title="metrics snapshot"))
+        return
+    columns, rows = _snapshot_table(registry)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=columns or list(_SNAPSHOT_COLUMNS))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

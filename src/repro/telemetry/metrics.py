@@ -1,0 +1,185 @@
+"""Run-level metrics: counters, gauges, and histograms behind one registry.
+
+Where the tracer answers "what happened at slot t", the registry answers
+"how did the run behave overall": how long P3 solves took, how many GSD
+iterations were needed, how deep the deficit queue got.  Components
+get-or-create instruments by name (``registry.histogram("gsd.solve_time_s")``)
+so metric identity is a string contract, not an object one -- the same
+convention as Prometheus-style registries in production controllers.
+
+Histograms keep raw observations (runs are at most a few hundred thousand
+slots), so any percentile is exact; registries from process-pool workers
+merge losslessly via :meth:`MetricsRegistry.state` /
+:meth:`MetricsRegistry.merge_state`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing total (events, MWh, solves)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for signed values")
+        self.value += amount
+
+
+class Gauge:
+    """Last-observed value of a fluctuating quantity (queue depth, rate)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+
+class Histogram:
+    """Distribution of observations with exact percentiles."""
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(max(self._values)) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] (linear interpolation)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._values:
+            return 0.0
+        return float(np.percentile(np.asarray(self._values), p))
+
+    def values(self) -> np.ndarray:
+        """Copy of the raw observations."""
+        return np.asarray(self._values, dtype=np.float64)
+
+
+class MetricsRegistry:
+    """Name -> instrument store with get-or-create accessors.
+
+    A name is bound to one instrument type for the registry's lifetime;
+    asking for the same name with a different accessor raises, catching
+    typo-induced double registration early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # ----------------------------------------------------- reporting
+    def snapshot_rows(self) -> list[dict]:
+        """One flat dict per instrument, sorted by name (table-ready)."""
+        rows: list[dict] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                rows.append({"metric": name, "type": "counter", "value": inst.value})
+            elif isinstance(inst, Gauge):
+                rows.append({"metric": name, "type": "gauge", "value": inst.value})
+            else:
+                rows.append(
+                    {
+                        "metric": name,
+                        "type": "histogram",
+                        "count": inst.count,
+                        "mean": inst.mean,
+                        "p50": inst.percentile(50),
+                        "p90": inst.percentile(90),
+                        "p99": inst.percentile(99),
+                        "max": inst.max,
+                    }
+                )
+        return rows
+
+    # ----------------------------------------------------- merge transport
+    def state(self) -> dict:
+        """Picklable full state (for process-pool workers)."""
+        return {
+            "counters": {
+                n: i.value for n, i in self._instruments.items() if isinstance(i, Counter)
+            },
+            "gauges": {
+                n: i.value for n, i in self._instruments.items() if isinstance(i, Gauge)
+            },
+            "histograms": {
+                n: list(i._values)
+                for n, i in self._instruments.items()
+                if isinstance(i, Histogram)
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters add, histograms concatenate, gauges take the incoming
+        value (last write wins, matching serial execution order).
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in state.get("histograms", {}).items():
+            self.histogram(name)._values.extend(float(v) for v in values)

@@ -1,0 +1,126 @@
+"""Structured event tracing: the per-slot audit trail of a run.
+
+Every instrumented component (the slot simulator, COCA's deficit queue,
+GSD's Markov chain, the geo dispatcher) reports what it did as *events* --
+flat dicts with a ``kind`` discriminator plus arbitrary scalar fields --
+through a :class:`Tracer`.  The paper's claims live in exactly this state
+(the queue ``q(t)``, the weight ``V w(t) + q(t)``, GSD's acceptance rate),
+so the trace is what lets a run be audited after the fact.
+
+Three sinks are provided:
+
+=================  ======================================================
+:class:`NullTracer`     the default: ``enabled`` is False and ``emit`` is
+                        a no-op, so uninstrumented runs pay nothing
+:class:`InMemoryTracer` appends events to a list (tests, process workers)
+:class:`JsonlTracer`    streams one JSON object per line to a file
+=================  ======================================================
+
+Hot paths guard event *construction* with ``if telemetry.enabled:`` so the
+no-op default never even builds the field dict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Tracer", "NullTracer", "InMemoryTracer", "JsonlTracer", "NULL_TRACER"]
+
+
+def _jsonable(value: Any):
+    """Fallback JSON encoder for numpy scalars and arrays."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"event field of type {type(value).__name__} is not JSON-serializable")
+
+
+class Tracer:
+    """Event sink interface.
+
+    ``enabled`` is the hot-path guard: when False, callers skip building
+    event payloads entirely.  Subclasses override :meth:`emit`; sinks that
+    hold resources also override :meth:`close` (tracers are context
+    managers).
+    """
+
+    enabled: bool = True
+
+    def emit(self, kind: str, /, **fields) -> None:
+        """Record one event of ``kind`` with scalar ``fields``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resource; idempotent."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default sink: drops everything."""
+
+    enabled = False
+
+    def emit(self, kind: str, /, **fields) -> None:
+        pass
+
+
+#: Shared no-op instance; safe because a NullTracer has no state.
+NULL_TRACER = NullTracer()
+
+
+class InMemoryTracer(Tracer):
+    """Appends events (as plain dicts) to :attr:`events`.
+
+    The workhorse of tests and of process-pool workers, whose event lists
+    are pickled back to the parent and absorbed into its telemetry.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, kind: str, /, **fields) -> None:
+        event = {"kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlTracer(Tracer):
+    """Streams events to ``path`` as JSON Lines (one object per line).
+
+    The file is written incrementally, so a crashed run still leaves a
+    valid prefix; read it back with
+    :func:`repro.telemetry.exporters.read_jsonl_events`.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "w")
+        self.count = 0
+
+    def emit(self, kind: str, /, **fields) -> None:
+        event = {"kind": kind}
+        event.update(fields)
+        self._fh.write(json.dumps(event, default=_jsonable))
+        self._fh.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
