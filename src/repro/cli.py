@@ -13,6 +13,7 @@ budget-sweep   Fig. 5(a,b): normalized cost vs carbon budget
 report         full markdown scenario report
 traces         summarize any of the synthetic trace generators
 telemetry      summarize a JSONL event trace written by ``--trace-out``
+dashboard      offline HTML health report (monitors + charts) from a trace
 =============  ==========================================================
 
 Scenario commands accept ``--scale {small,paper}`` (a 400-server fortnight
@@ -242,15 +243,52 @@ def _cmd_traces(args) -> int:
     return 0
 
 
-def _cmd_telemetry(args) -> int:
-    from .telemetry import read_jsonl_events, render_trace_summary
+def _load_trace_or_fail(command: str, path: str) -> list[dict] | None:
+    """Load a trace for a CLI command; on failure print the reason (no
+    traceback) to stderr and return None."""
+    from .telemetry import TraceError, load_trace
 
     try:
-        events = read_jsonl_events(args.trace)
-    except (OSError, ValueError) as exc:
-        print(f"repro telemetry: {exc}", file=sys.stderr)
+        return load_trace(path)
+    except TraceError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_telemetry(args) -> int:
+    from .telemetry import render_trace_summary
+
+    events = _load_trace_or_fail("telemetry", args.trace)
+    if events is None:
         return 1
     print(render_trace_summary(events, title=args.trace))
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    from .monitor import default_suite, replay, write_dashboard
+
+    events = _load_trace_or_fail("dashboard", args.trace)
+    if events is None:
+        return 1
+    suite = replay(events, default_suite())
+    write_dashboard(events, args.output, suite=suite, title=args.title or args.trace)
+    reports = suite.reports()
+    passing = sum(1 for r in reports if r.passed)
+    worst = suite.channel.worst_severity or "none"
+    print(
+        f"dashboard written to {args.output} "
+        f"({passing}/{len(reports)} monitors passing, "
+        f"{suite.channel.count()} alerts, worst severity: {worst})"
+    )
+    if args.strict and passing < len(reports):
+        for report in reports:
+            if not report.passed:
+                print(
+                    f"repro dashboard: FAIL {report.monitor}: {report.detail}",
+                    file=sys.stderr,
+                )
+        return 2
     return 0
 
 
@@ -318,6 +356,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(p)
     p.add_argument("trace", help="path to a trace written with --trace-out")
     p.set_defaults(func=_cmd_telemetry)
+
+    p = sub.add_parser(
+        "dashboard", help="render an offline HTML health report from a trace"
+    )
+    p.add_argument(
+        "--trace", required=True, help="path to a trace written with --trace-out"
+    )
+    p.add_argument(
+        "--output", "-o", default="dashboard.html", help="HTML file to write"
+    )
+    p.add_argument("--title", default=None, help="report title (default: trace path)")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when any invariant monitor fails (CI gating)",
+    )
+    p.set_defaults(func=_cmd_dashboard)
 
     return parser
 

@@ -112,6 +112,21 @@ class COCA(Controller):
                 f"environment horizon {environment.horizon} does not match "
                 f"portfolio horizon {self._horizon}"
             )
+        tele = self.telemetry
+        if tele.enabled:
+            # Budget constants for the health monitors (alpha, per-slot REC
+            # allowance, frame length) -- simulate() binds telemetry before
+            # calling start(), so this is the stream's first COCA event.
+            tele.emit(
+                "controller.config",
+                controller=self.name(),
+                alpha=self.alpha,
+                rec_per_slot=self.queue.rec_per_slot,
+                frame_length=self.effective_frame_length,
+                v0=self._current_v,
+                horizon=self._horizon,
+                carbon_budget=self.portfolio.offsite.total + self.portfolio.recs,
+            )
 
     # ------------------------------------------------------------------
     def decide(self, observation: SlotObservation) -> SlotSolution:

@@ -134,6 +134,20 @@ class GeoCOCA:
         )
         self._prev_on: list[np.ndarray | None] = [None] * len(environment.sites)
         self._prev_shares: np.ndarray | None = None
+        self._last_v: float = self.v_schedule.value(0)
+        if self.telemetry.enabled:
+            # Budget constants for the health monitors (mirrors COCA's
+            # controller.config on the single-site path).
+            self.telemetry.emit(
+                "geo.config",
+                controller=self.name(),
+                alpha=environment.alpha,
+                rec_per_slot=self.queue.rec_per_slot,
+                horizon=environment.horizon,
+                num_sites=len(environment.sites),
+                capacity=environment.total_capacity,
+                carbon_budget=environment.carbon_budget,
+            )
 
     def decide(self, t: int) -> DispatchResult:
         """Dispatch slot ``t`` and provision every site."""
@@ -141,6 +155,7 @@ class GeoCOCA:
         if t % T == 0:
             self.queue.reset()
         v = self.v_schedule.value(t // T)
+        self._last_v = v
         with self.telemetry.timer("geo.dispatch_time_s") as dispatch_timer:
             result = dispatch_slot(
                 self.environment.sites,
@@ -200,6 +215,7 @@ class GeoCOCA:
                 brown=result.total_brown,
                 offsite=float(self.environment.offsite[t]),
                 rec_per_slot=self.queue.rec_per_slot,
+                v=self._last_v,
             )
             self.telemetry.metrics.gauge("geo.queue_depth").set(self.queue.length)
 

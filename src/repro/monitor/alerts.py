@@ -1,0 +1,208 @@
+"""The alert channel: severities, deduplication, pluggable sinks.
+
+Monitors do not print, raise, or log directly -- they raise *alerts*
+through an :class:`AlertChannel`, which owns policy: which severities are
+worth dispatching, how repeats of the same condition are collapsed, and
+where alerts go.  Sinks are plain callables ``sink(alert)``; three are
+provided (stderr, JSONL file, user callback) and any number can be
+attached at once.
+
+Deduplication is by *key*: a monitor that detects the same condition on
+every slot (say, a dropped-load threshold crossed for a 40-hour stretch)
+raises with the same key each time, and the channel dispatches only the
+first occurrence while counting the rest on :attr:`Alert.count`.  The
+deduplicated alert log -- first slot, last slot, occurrence count per
+condition -- is what the dashboard renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+__all__ = [
+    "SEVERITIES",
+    "Alert",
+    "AlertChannel",
+    "stderr_sink",
+    "JsonlAlertSink",
+]
+
+#: Severity ladder, least to most severe; index = rank.
+SEVERITIES = ("info", "warning", "critical")
+
+
+def _rank(severity: str) -> int:
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass
+class Alert:
+    """One deduplicated alert condition.
+
+    Attributes
+    ----------
+    severity:
+        ``info`` / ``warning`` / ``critical``.
+    monitor:
+        Name of the monitor that raised it.
+    message:
+        Human-readable description of the first occurrence.
+    t:
+        Slot index of the first occurrence (None for run-level alerts).
+    key:
+        Deduplication key; repeats with the same key fold into this alert.
+    count:
+        Number of occurrences observed.
+    last_t:
+        Slot index of the most recent occurrence.
+    """
+
+    severity: str
+    monitor: str
+    message: str
+    t: int | None = None
+    key: str = ""
+    count: int = 1
+    last_t: int | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        _rank(self.severity)
+        if not self.key:
+            self.key = f"{self.monitor}:{self.message}"
+        if self.last_t is None:
+            self.last_t = self.t
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form (the JSONL sink's line format)."""
+        return {
+            "severity": self.severity,
+            "monitor": self.monitor,
+            "message": self.message,
+            "t": self.t,
+            "last_t": self.last_t,
+            "count": self.count,
+            "key": self.key,
+        }
+
+
+def stderr_sink(alert: Alert) -> None:
+    """Print one line per (new) alert to stderr."""
+    import sys
+
+    where = "" if alert.t is None else f" at t={alert.t}"
+    print(
+        f"[{alert.severity.upper()}] {alert.monitor}{where}: {alert.message}",
+        file=sys.stderr,
+    )
+
+
+class JsonlAlertSink:
+    """Append alerts to ``path`` as JSON Lines; close when done."""
+
+    def __init__(self, path: str) -> None:
+        import json
+
+        self._json = json
+        self.path = str(path)
+        self._fh = open(self.path, "w")
+
+    def __call__(self, alert: Alert) -> None:
+        self._fh.write(self._json.dumps(alert.as_dict()))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class AlertChannel:
+    """Collects, deduplicates, and dispatches alerts.
+
+    Parameters
+    ----------
+    sinks:
+        Callables invoked once per *new* alert key (repeats only bump the
+        existing alert's count).
+    min_severity:
+        Alerts below this severity are counted but not dispatched to
+        sinks; they still appear in :attr:`alerts`.
+    """
+
+    def __init__(
+        self,
+        sinks: Iterable[Callable[[Alert], None]] = (),
+        *,
+        min_severity: str = "info",
+    ) -> None:
+        _rank(min_severity)
+        self.sinks = list(sinks)
+        self.min_severity = min_severity
+        self._by_key: dict[str, Alert] = {}
+
+    # ------------------------------------------------------------------
+    def raise_alert(
+        self,
+        severity: str,
+        monitor: str,
+        message: str,
+        *,
+        t: int | None = None,
+        key: str | None = None,
+    ) -> Alert:
+        """Record one occurrence of a condition; returns the (folded) alert.
+
+        ``key`` defaults to ``monitor:message``, so monitors that want
+        per-condition (rather than per-slot) folding should pass a key that
+        omits slot-varying detail.
+        """
+        alert = Alert(
+            severity=severity, monitor=monitor, message=message, t=t,
+            key=key if key is not None else "",
+        )
+        existing = self._by_key.get(alert.key)
+        if existing is not None:
+            existing.count += 1
+            existing.last_t = t if t is not None else existing.last_t
+            # Escalation wins: a condition that worsens keeps the worst
+            # severity it ever reached.
+            if _rank(alert.severity) > _rank(existing.severity):
+                existing.severity = alert.severity
+            return existing
+        self._by_key[alert.key] = alert
+        if _rank(alert.severity) >= _rank(self.min_severity):
+            for sink in self.sinks:
+                sink(alert)
+        return alert
+
+    # ------------------------------------------------------------------
+    @property
+    def alerts(self) -> list[Alert]:
+        """Deduplicated alerts in first-raised order."""
+        return list(self._by_key.values())
+
+    def count(self, severity: str | None = None) -> int:
+        """Number of distinct alert conditions (optionally of one severity)."""
+        if severity is None:
+            return len(self._by_key)
+        _rank(severity)
+        return sum(1 for a in self._by_key.values() if a.severity == severity)
+
+    @property
+    def worst_severity(self) -> str | None:
+        """Most severe level raised so far, or None when quiet."""
+        if not self._by_key:
+            return None
+        return max((a.severity for a in self._by_key.values()), key=_rank)
+
+    def close(self) -> None:
+        """Close any sinks that hold resources."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

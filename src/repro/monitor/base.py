@@ -1,0 +1,93 @@
+"""Monitor interface: stream consumers that check one invariant each.
+
+A :class:`HealthMonitor` is fed the telemetry event stream -- live through
+a :class:`~repro.monitor.suite.MonitoringTracer` tap, or offline by
+replaying a JSONL trace -- and checks a single well-defined property of
+the run.  It raises findings through the shared
+:class:`~repro.monitor.alerts.AlertChannel` and summarizes itself as a
+:class:`MonitorReport` row for the dashboard's invariant table.
+
+Monitors self-calibrate from the ``run.start`` / ``controller.config``
+events the instrumented engine and controllers emit (capacity, budget
+constants, ``alpha``); explicit constructor arguments always win over
+trace-derived values, so a monitor can also be armed with exact Theorem 2
+constants from :mod:`repro.core.bounds`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .alerts import AlertChannel
+
+__all__ = ["MonitorReport", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorReport:
+    """One row of the invariant pass/fail table.
+
+    Attributes
+    ----------
+    monitor:
+        The monitor's name.
+    description:
+        One-line statement of the property checked.
+    checked:
+        Number of observations the monitor evaluated.
+    violations:
+        Number of observations that failed the check.
+    passed:
+        Overall verdict (no violations, and the monitor saw enough data to
+        judge -- a monitor that checked nothing still passes vacuously).
+    detail:
+        Free-text summary (worst margin, thresholds used, ...).
+    """
+
+    monitor: str
+    description: str
+    checked: int
+    violations: int
+    passed: bool
+    detail: str = ""
+
+
+class HealthMonitor:
+    """Base class: consume events, raise alerts, report a verdict.
+
+    Subclasses set :attr:`name` and :attr:`description`, may restrict the
+    event kinds they receive via :attr:`kinds` (empty = all events), and
+    implement :meth:`observe`; end-of-stream checks go in :meth:`finalize`.
+    The ``checked`` / ``violations`` counters drive the default report.
+    """
+
+    name: str = "monitor"
+    description: str = ""
+    #: Event kinds this monitor consumes; empty tuple means every event.
+    kinds: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, event: dict, alerts: AlertChannel) -> None:
+        """Consume one event (already filtered to :attr:`kinds`)."""
+
+    def finalize(self, alerts: AlertChannel) -> None:
+        """End-of-stream hook for run-level checks."""
+
+    # ------------------------------------------------------------------
+    def detail(self) -> str:
+        """Free-text column of the report; override for specifics."""
+        return ""
+
+    def report(self) -> MonitorReport:
+        return MonitorReport(
+            monitor=self.name,
+            description=self.description,
+            checked=self.checked,
+            violations=self.violations,
+            passed=self.violations == 0,
+            detail=self.detail(),
+        )

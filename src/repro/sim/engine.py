@@ -104,6 +104,17 @@ def simulate(
     bind = getattr(controller, "bind_telemetry", None)
     if bind is not None:
         bind(tele)
+    if tele.enabled:
+        # Run-level context: monitors calibrate their bounds (capacity,
+        # worst-case facility draw) from this event instead of guessing.
+        tele.emit(
+            "run.start",
+            controller=controller.name(),
+            horizon=J,
+            num_servers=model.fleet.num_servers,
+            capacity=model.fleet.capacity(model.gamma),
+            max_facility_power=model.max_facility_power,
+        )
     controller.start(environment)
 
     cols: dict[str, list[float]] = {
@@ -195,6 +206,16 @@ def simulate(
         cols["served"].append(realized.served_load(model.fleet))
         cols["dropped"].append(dropped)
         cols["active_servers"].append(realized.active_servers(model.fleet))
+
+    if tele.enabled:
+        tele.emit(
+            "run.end",
+            controller=controller.name(),
+            slots=J,
+            cost=float(sum(cols["cost"])),
+            brown_energy=float(sum(cols["brown_energy"])),
+            dropped=float(sum(cols["dropped"])),
+        )
 
     arrays = {k: np.asarray(v, dtype=np.float64) for k, v in cols.items()}
     queue = np.asarray(getattr(controller, "queue_at_decision", []), dtype=np.float64)

@@ -58,9 +58,8 @@ class HomogeneousEnumerationSolver(SlotSolver):
         started = time.perf_counter() if tele.enabled else 0.0
         solution = self._solve(problem)
         if tele.enabled:
-            tele.metrics.histogram("enum.solve_time_s").observe(
-                time.perf_counter() - started
-            )
+            elapsed = time.perf_counter() - started
+            tele.metrics.histogram("enum.solve_time_s").observe(elapsed)
             tele.metrics.counter("enum.solves").inc()
         return solution
 

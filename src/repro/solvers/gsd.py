@@ -148,6 +148,11 @@ class GSDSolver(SlotSolver):
         )
         self.record_history = record_history
         self.log_interval = log_interval
+        # Chain counter: stamps telemetry events with a per-solver
+        # solve_index so the convergence diagnostics can group the
+        # gsd.iteration stream by chain.  Only advanced when telemetry is
+        # enabled, so uninstrumented solver state is untouched.
+        self._solve_count = 0
         self.failed_groups = (
             np.unique(np.asarray(failed_groups, dtype=np.int64))
             if failed_groups is not None
@@ -227,6 +232,10 @@ class GSDSolver(SlotSolver):
 
         tele = self.telemetry
         started = time.perf_counter() if tele.enabled else 0.0
+        solve_index = -1
+        if tele.enabled:
+            solve_index = self._solve_count
+            self._solve_count += 1
 
         def _log_window(it: int) -> None:
             """Iteration-summary event at the end of each logging interval."""
@@ -235,6 +244,7 @@ class GSDSolver(SlotSolver):
             lo = it + 1 - self.log_interval
             tele.emit(
                 "gsd.iteration",
+                solve_index=solve_index,
                 iteration=it + 1,
                 chain_objective=float(hist_chain[it]),
                 best_objective=float(hist_best[it]),
@@ -294,6 +304,7 @@ class GSDSolver(SlotSolver):
             metrics.histogram("gsd.acceptance_rate").observe(acceptance)
             tele.emit(
                 "gsd.solve",
+                solve_index=solve_index,
                 iterations=self.iterations,
                 inner_solves=n_solves,
                 best_objective=float(best),

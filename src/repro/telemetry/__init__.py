@@ -19,6 +19,8 @@ and metric names.
 
 from .bundle import NULL_TELEMETRY, Telemetry, coerce
 from .exporters import (
+    TraceError,
+    load_trace,
     metrics_to_markdown,
     read_jsonl_events,
     write_jsonl_events,
@@ -27,12 +29,24 @@ from .exporters import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .summary import render_trace_summary, trace_summary_tables
 from .timing import NULL_TIMER, ScopedTimer
-from .tracer import NULL_TRACER, InMemoryTracer, JsonlTracer, NullTracer, Tracer
+from .tracer import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    InMemoryTracer,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    new_run_id,
+)
 
 __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "coerce",
+    "SCHEMA_VERSION",
+    "new_run_id",
+    "TraceError",
+    "load_trace",
     "Tracer",
     "NullTracer",
     "InMemoryTracer",

@@ -11,15 +11,25 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 
 from .metrics import MetricsRegistry
+from .tracer import SCHEMA_VERSION
 
 __all__ = [
+    "TraceError",
     "read_jsonl_events",
+    "load_trace",
     "write_jsonl_events",
     "metrics_to_markdown",
     "write_metrics",
 ]
+
+
+class TraceError(ValueError):
+    """A trace file cannot be consumed: missing, empty, corrupt, or from an
+    incompatible (newer) schema version.  The message is written for a CLI
+    user, so commands print it verbatim instead of a traceback."""
 
 #: Column order of a metrics snapshot (union over instrument types).
 _SNAPSHOT_COLUMNS = (
@@ -50,6 +60,35 @@ def read_jsonl_events(path: str) -> list[dict]:
             if not isinstance(event, dict) or "kind" not in event:
                 raise ValueError(f"{path}:{line_no}: event must be a dict with a 'kind'")
             events.append(event)
+    return events
+
+
+def load_trace(path: str) -> list[dict]:
+    """Load a trace for a CLI consumer, with human-readable failures.
+
+    Wraps :func:`read_jsonl_events` and raises :class:`TraceError` (whose
+    message is safe to print verbatim) when the file is missing, is empty,
+    is not valid JSONL, or contains events stamped with a schema version
+    newer than this build understands.  Pre-``schema_version`` traces
+    (schema 1, written before the field existed) are accepted.
+    """
+    path = str(path)
+    if not os.path.exists(path):
+        raise TraceError(f"trace file not found: {path}")
+    try:
+        events = read_jsonl_events(path)
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    except ValueError as exc:
+        raise TraceError(f"corrupt trace: {exc}") from exc
+    if not events:
+        raise TraceError(f"trace {path} is empty (no events); was the run traced?")
+    newest = max(int(e.get("schema_version", 1)) for e in events)
+    if newest > SCHEMA_VERSION:
+        raise TraceError(
+            f"trace {path} uses event schema version {newest}, but this build "
+            f"only understands versions <= {SCHEMA_VERSION}; upgrade repro to read it"
+        )
     return events
 
 

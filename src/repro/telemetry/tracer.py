@@ -18,16 +18,41 @@ Three sinks are provided:
 
 Hot paths guard event *construction* with ``if telemetry.enabled:`` so the
 no-op default never even builds the field dict.
+
+Every recorded event is stamped with ``schema_version`` (the trace format
+revision, :data:`SCHEMA_VERSION`) and ``run_id`` (a short identifier fixed
+per tracer instance), so consumers -- the monitors, the dashboard, the
+summarizer -- can validate a trace and join or separate multi-run files.
+A caller that passes either field explicitly (worker-event absorption,
+round-tripping an existing trace) wins over the stamp.
 """
 
 from __future__ import annotations
 
 import json
+import uuid
 from typing import Any
 
 import numpy as np
 
-__all__ = ["Tracer", "NullTracer", "InMemoryTracer", "JsonlTracer", "NULL_TRACER"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "Tracer",
+    "NullTracer",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "new_run_id",
+]
+
+#: Trace-format revision stamped on every event.  Bump when the event
+#: schema changes incompatibly; readers reject traces from the future.
+SCHEMA_VERSION = 2
+
+
+def new_run_id() -> str:
+    """A short random identifier naming one tracer's stream of events."""
+    return uuid.uuid4().hex[:12]
 
 
 def _jsonable(value: Any):
@@ -58,6 +83,17 @@ class Tracer:
         """Record one event of ``kind`` with scalar ``fields``."""
         raise NotImplementedError
 
+    def emit_event(self, event: dict) -> None:
+        """Record one pre-built event dict (must carry ``kind``).
+
+        The fast path for taps that already assembled the full event --
+        equivalent to ``emit(event["kind"], **rest)`` but without unpacking
+        and rebuilding; sinks override it to consume the dict directly.
+        """
+        fields = dict(event)
+        kind = fields.pop("kind")
+        self.emit(kind, **fields)
+
     def close(self) -> None:
         """Release any underlying resource; idempotent."""
 
@@ -77,6 +113,9 @@ class NullTracer(Tracer):
     def emit(self, kind: str, /, **fields) -> None:
         pass
 
+    def emit_event(self, event: dict) -> None:
+        pass
+
 
 #: Shared no-op instance; safe because a NullTracer has no state.
 NULL_TRACER = NullTracer()
@@ -89,12 +128,16 @@ class InMemoryTracer(Tracer):
     are pickled back to the parent and absorbed into its telemetry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, run_id: str | None = None) -> None:
+        self.run_id = run_id if run_id is not None else new_run_id()
         self.events: list[dict] = []
 
     def emit(self, kind: str, /, **fields) -> None:
-        event = {"kind": kind}
+        event = {"kind": kind, "schema_version": SCHEMA_VERSION, "run_id": self.run_id}
         event.update(fields)
+        self.events.append(event)
+
+    def emit_event(self, event: dict) -> None:
         self.events.append(event)
 
     def __len__(self) -> int:
@@ -109,14 +152,18 @@ class JsonlTracer(Tracer):
     :func:`repro.telemetry.exporters.read_jsonl_events`.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, run_id: str | None = None) -> None:
         self.path = str(path)
+        self.run_id = run_id if run_id is not None else new_run_id()
         self._fh = open(self.path, "w")
         self.count = 0
 
     def emit(self, kind: str, /, **fields) -> None:
-        event = {"kind": kind}
+        event = {"kind": kind, "schema_version": SCHEMA_VERSION, "run_id": self.run_id}
         event.update(fields)
+        self.emit_event(event)
+
+    def emit_event(self, event: dict) -> None:
         self._fh.write(json.dumps(event, default=_jsonable))
         self._fh.write("\n")
         self.count += 1

@@ -18,11 +18,14 @@ from repro.sim import simulate
 from repro.solvers import GSDSolver
 from repro.telemetry import (
     NULL_TELEMETRY,
+    SCHEMA_VERSION,
     InMemoryTracer,
     JsonlTracer,
     MetricsRegistry,
     Telemetry,
+    TraceError,
     coerce,
+    load_trace,
     metrics_to_markdown,
     read_jsonl_events,
     render_trace_summary,
@@ -211,6 +214,21 @@ class TestExporters:
         ]
         path = tmp_path / "trace.jsonl"
         write_jsonl_events(events, path)
+        read_back = read_jsonl_events(path)
+        # Unstamped events acquire the v2 stamps on write; original fields
+        # survive untouched.
+        for original, loaded in zip(events, read_back):
+            assert loaded["schema_version"] == SCHEMA_VERSION
+            assert loaded["run_id"]
+            assert {k: v for k, v in loaded.items()
+                    if k not in ("schema_version", "run_id")} == original
+
+    def test_jsonl_round_trip_preserves_existing_stamps(self, tmp_path):
+        events = [
+            {"kind": "queue.update", "schema_version": 1, "run_id": "abc", "t": 3}
+        ]
+        path = tmp_path / "stamped.jsonl"
+        write_jsonl_events(events, path)
         assert read_jsonl_events(path) == events
 
     def test_jsonl_tracer_streams_and_counts(self, tmp_path, week_scenario):
@@ -230,7 +248,14 @@ class TestExporters:
         tracer.emit("e", a=np.float64(1.5), b=np.int64(2), c=np.array([1.0, 2.0]))
         tracer.close()
         (event,) = read_jsonl_events(path)
-        assert event == {"kind": "e", "a": 1.5, "b": 2, "c": [1.0, 2.0]}
+        assert event == {
+            "kind": "e",
+            "schema_version": SCHEMA_VERSION,
+            "run_id": tracer.run_id,
+            "a": 1.5,
+            "b": 2,
+            "c": [1.0, 2.0],
+        }
 
     def test_read_rejects_malformed(self, tmp_path):
         path = tmp_path / "bad.jsonl"
@@ -251,6 +276,49 @@ class TestExporters:
         write_metrics(registry, md_path)
         assert "|" in md_path.read_text()
         assert "sim.slots" in metrics_to_markdown(registry)
+
+
+class TestLoadTrace:
+    """load_trace: the validating loader behind the CLI trace commands."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_trace(str(path))
+
+    def test_corrupt_jsonl(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"kind": "ok"}\nnot json at all\n')
+        with pytest.raises(TraceError, match="corrupt"):
+            load_trace(str(path))
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "x", "schema_version": SCHEMA_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(TraceError, match="schema version"):
+            load_trace(str(path))
+
+    def test_unstamped_v1_trace_accepted(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text('{"kind": "queue.update", "t": 0}\n')
+        events = load_trace(str(path))
+        assert events == [{"kind": "queue.update", "t": 0}]
+
+    def test_loads_tracer_output(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.emit("slot.outcome", t=0, cost=1.0)
+        tracer.close()
+        (event,) = load_trace(str(path))
+        assert event["schema_version"] == SCHEMA_VERSION
+        assert event["run_id"] == tracer.run_id
 
 
 class TestSummary:
