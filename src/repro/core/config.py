@@ -46,6 +46,9 @@ class DataCenterModel:
         Optional facility-power ceiling in MW (section 3.1).
     max_delay_cost:
         Optional per-slot delay-cost ceiling in dollars (section 3.1).
+    slot_hours:
+        Slot length in hours (default 1.0, the paper's hourly slotting);
+        converts between powers (MW) and per-slot energies (MWh).
     """
 
     fleet: Fleet
@@ -58,6 +61,7 @@ class DataCenterModel:
     switching: SwitchingCostModel | None = None
     peak_power_cap: float | None = None
     max_delay_cost: float | None = None
+    slot_hours: float = 1.0
 
     def slot_problem(
         self,
@@ -91,6 +95,7 @@ class DataCenterModel:
             max_delay_cost=self.max_delay_cost,
             network_delay=network_delay,
             pue_override=pue_override,
+            slot_hours=self.slot_hours,
         )
 
     @property

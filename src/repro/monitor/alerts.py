@@ -113,7 +113,11 @@ class JsonlAlertSink:
         self._fh = open(self.path, "w")
 
     def __call__(self, alert: Alert) -> None:
-        self._fh.write(self._json.dumps(alert.as_dict()))
+        from ..telemetry.tracer import sanitize_json_value
+
+        self._fh.write(
+            self._json.dumps(sanitize_json_value(alert.as_dict()), allow_nan=False)
+        )
         self._fh.write("\n")
 
     def close(self) -> None:

@@ -33,6 +33,18 @@ from .base import HealthMonitor
 __all__ = ["GSDAcceptanceMonitor", "GSDStallMonitor", "GSDDispersionMonitor"]
 
 
+def _event_float(event: dict, field: str) -> float:
+    """Read a float field, mapping absent *and* ``null`` to NaN.
+
+    JSONL traces write non-finite floats as ``null`` (see
+    :func:`repro.telemetry.tracer.sanitize_json_value`): a GSD chain that
+    starts infeasible reports its objectives that way until the first
+    feasible acceptance.
+    """
+    value = event.get(field)
+    return np.nan if value is None else float(value)
+
+
 class GSDAcceptanceMonitor(HealthMonitor):
     """Mean acceptance rate across chains must sit in ``(low, high)``.
 
@@ -133,8 +145,8 @@ class GSDStallMonitor(HealthMonitor):
         if chain != self._chain or iteration <= self._last_iteration:
             self._reset_chain(chain)
         self._last_iteration = iteration
-        best = float(event.get("best_objective", np.nan))
-        accepted = float(event.get("acceptance_rate", np.nan))
+        best = _event_float(event, "best_objective")
+        accepted = _event_float(event, "acceptance_rate")
         self.checked += 1
         flat = self._last_best is not None and best >= self._last_best - 1e-12
         if accepted == 0.0 and flat:

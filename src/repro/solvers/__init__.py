@@ -4,6 +4,7 @@ from .base import SlotSolution, SlotSolver
 from .brute_force import BruteForceSolver
 from .convex import CoordinateDescentSolver, initial_levels
 from .enumeration import HomogeneousEnumerationSolver
+from .fastpath import EvaluationCache, FastPathStats
 from .gsd import GSDSolver, GSDTrace, geometric_temperature
 from .load_distribution import LoadDistribution, distribute_load, solve_fixed_levels
 from .messaging import (
@@ -24,6 +25,8 @@ __all__ = [
     "LoadDistribution",
     "distribute_load",
     "solve_fixed_levels",
+    "EvaluationCache",
+    "FastPathStats",
     "HomogeneousEnumerationSolver",
     "CoordinateDescentSolver",
     "initial_levels",

@@ -14,6 +14,11 @@ CoordinateDescentSolver      deterministic local search for heterogeneous fleets
 GSDSolver                    the paper's distributed Gibbs sampler (Algorithm 2)
 BruteForceSolver             exhaustive oracle for small instances (tests)
 ===========================  =======================================================
+
+The iterative engines (GSD, coordinate descent, brute force) share a common
+fast path -- a per-solve evaluation cache, an O(1) delta feasibility screen,
+and opt-in warm-started inner solves -- in :mod:`repro.solvers.fastpath`;
+see ``docs/PERFORMANCE.md`` for the design and its exactness contracts.
 """
 
 from __future__ import annotations

@@ -111,6 +111,8 @@ def batch_enumerate(
     prefix = np.concatenate(([0.0], np.cumsum(fleet.counts)))  # (G+1,)
     kappa = model.beta * model.delay_unit_cost
     gamma = model.gamma
+    # MW -> MWh per slot; delay cost likewise accrues over the slot length.
+    slot_h = getattr(model, "slot_hours", 1.0)
 
     cap_per_server = gamma * speeds  # (K,)
     max_capacity = prefix[-1] * cap_per_server[-1]
@@ -146,12 +148,15 @@ def batch_enumerate(
             load_k = np.where(feasible, np.minimum(load, cap_per_server), 0.0)
             it_power = M * (profile.static_power + coeff[None, None, :] * load_k)
             it_power = np.where(feasible, it_power, np.inf)
-            brown = np.maximum(
-                pue_arr[lo:hi, None, None] * it_power - onsite[lo:hi, None, None],
-                0.0,
+            brown = (
+                np.maximum(
+                    pue_arr[lo:hi, None, None] * it_power - onsite[lo:hi, None, None],
+                    0.0,
+                )
+                * slot_h
             )
             e_cost = price[lo:hi, None, None] * brown
-            delay = M * model.delay_model.cost(load_k, speeds[None, None, :])
+            delay = M * model.delay_model.cost(load_k, speeds[None, None, :]) * slot_h
             delay = np.where(M > 0, delay, 0.0)
             g = e_cost + kappa * delay
             objective = V * g + q_arr[lo:hi, None, None] * brown

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .fastpath import EvaluationCache
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
 
@@ -30,12 +31,34 @@ class BruteForceSolver(SlotSolver):
     ----------
     max_configs:
         Safety cap on the number of configurations enumerated.
+    use_cache:
+        Route scoring through the shared
+        :class:`~repro.solvers.fastpath.EvaluationCache`.  Every combo is
+        distinct so the memo cache never hits, but the O(1) delta screen
+        rejects under-capacity on-sets without entering the inner solve --
+        the enumeration order flips one trailing group at a time, exactly
+        the access pattern the screen is built for.  Results are identical
+        either way.
+    warm_start:
+        Seed consecutive inner solves from each other (requires
+        ``use_cache``; <= 1e-9 relative objective contract).  Off by
+        default -- the oracle stays bit-exact.
     """
 
-    def __init__(self, *, max_configs: int = 200_000):
+    def __init__(
+        self,
+        *,
+        max_configs: int = 200_000,
+        use_cache: bool = True,
+        warm_start: bool = False,
+    ):
         if max_configs < 1:
             raise ValueError("max_configs must be positive")
+        if warm_start and not use_cache:
+            raise ValueError("warm_start requires use_cache")
         self.max_configs = max_configs
+        self.use_cache = use_cache
+        self.warm_start = warm_start
 
     def config_count(self, problem: SlotProblem) -> int:
         """Size of the configuration space ``prod_g (K_g + 1)``."""
@@ -56,6 +79,43 @@ class BruteForceSolver(SlotSolver):
         best_loads: np.ndarray | None = None
         evaluated = 0
         ranges = [range(-1, int(k)) for k in fleet.num_levels]
+
+        if self.use_cache:
+            cache = EvaluationCache(problem, warm_start=self.warm_start)
+            levels = np.empty(fleet.num_groups, dtype=np.int64)
+            prev: tuple[int, ...] | None = None
+            for combo in product(*ranges):
+                if prev is None:
+                    levels[:] = combo
+                    cache.note_all()
+                else:
+                    for g, cand in enumerate(combo):
+                        if cand != prev[g]:
+                            levels[g] = cand
+                            cache.note_changed(g)
+                prev = combo
+                obj = cache.objective_of(levels)
+                if obj < best_obj:
+                    best_obj = obj
+                    best_levels = levels.copy()
+            if best_levels is None:
+                raise InfeasibleError(
+                    "no feasible configuration exists for this slot"
+                )
+            # Combos whose inner solve ran to completion; screened-out
+            # combos (provably infeasible or cap-breaking) are excluded.
+            evaluated = cache.stats.inner_solves
+            action, evaluation = cache.solution_for(best_levels)
+            return SlotSolution(
+                action=action,
+                evaluation=evaluation,
+                info={
+                    "configs_total": total,
+                    "configs_feasible": evaluated,
+                    "fastpath": cache.stats.as_dict(),
+                },
+            )
+
         for combo in product(*ranges):
             levels = np.asarray(combo, dtype=np.int64)
             try:

@@ -17,10 +17,13 @@ Multiple restarts from distinct initial points trade time for robustness.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .fastpath import EvaluationCache
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
 
@@ -67,6 +70,16 @@ class CoordinateDescentSolver(SlotSolver):
     rng:
         Randomness source for restarts; defaults to a fixed-seed generator
         so results are reproducible.
+    use_cache:
+        Route candidate scoring through the per-solve
+        :class:`~repro.solvers.fastpath.EvaluationCache`.  Sweeps re-score
+        the same configurations constantly (every non-improving candidate
+        is revisited on the next pass), so hits dominate after the first
+        sweep; results are bit-identical with the cache on or off.
+    warm_start:
+        Seed each inner solve's bisection brackets from the previous
+        candidate's solution (requires ``use_cache``; <= 1e-9 relative
+        objective contract, see the fastpath docs).  Off by default.
     """
 
     def __init__(
@@ -75,12 +88,18 @@ class CoordinateDescentSolver(SlotSolver):
         max_sweeps: int = 8,
         restarts: int = 2,
         rng: np.random.Generator | None = None,
+        use_cache: bool = True,
+        warm_start: bool = False,
     ):
         if max_sweeps < 1 or restarts < 1:
             raise ValueError("max_sweeps and restarts must be >= 1")
+        if warm_start and not use_cache:
+            raise ValueError("warm_start requires use_cache")
         self.max_sweeps = max_sweeps
         self.restarts = restarts
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.use_cache = use_cache
+        self.warm_start = warm_start
 
     # ------------------------------------------------------------------
     def _objective(self, problem: SlotProblem, levels: np.ndarray) -> float:
@@ -95,10 +114,25 @@ class CoordinateDescentSolver(SlotSolver):
         return evaluation.objective
 
     def _descend(
-        self, problem: SlotProblem, levels: np.ndarray
+        self,
+        problem: SlotProblem,
+        levels: np.ndarray,
+        cache: EvaluationCache | None,
     ) -> tuple[np.ndarray, float, int]:
         fleet = problem.fleet
-        best = self._objective(problem, levels)
+
+        if cache is not None:
+            cache.note_all()
+
+            def score(lv: np.ndarray) -> float:
+                return cache.objective_of(lv)
+
+        else:
+
+            def score(lv: np.ndarray) -> float:
+                return self._objective(problem, lv)
+
+        best = score(levels)
         sweeps = 0
         for _ in range(self.max_sweeps):
             sweeps += 1
@@ -109,20 +143,31 @@ class CoordinateDescentSolver(SlotSolver):
                     if cand == current:
                         continue
                     levels[g] = cand
-                    val = self._objective(problem, levels)
+                    if cache is not None:
+                        cache.note_changed(g)
+                    val = score(levels)
                     if val < best - 1e-12 * max(abs(best), 1.0):
                         best = val
                         current = cand
                         improved = True
                     else:
                         levels[g] = current
+                        if cache is not None:
+                            cache.note_changed(g)
             if not improved:
                 break
         return levels, best, sweeps
 
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        tele = self.telemetry
+        started = time.perf_counter() if tele.enabled else 0.0
         problem.check_feasible()
         fleet = problem.fleet
+        cache = (
+            EvaluationCache(problem, warm_start=self.warm_start)
+            if self.use_cache
+            else None
+        )
         best_levels: np.ndarray | None = None
         best_val = np.inf
         total_sweeps = 0
@@ -140,21 +185,53 @@ class CoordinateDescentSolver(SlotSolver):
                     ],
                     dtype=np.int64,
                 )
-                if not np.isfinite(self._objective(problem, levels)):
+                if cache is not None:
+                    cache.note_all()
+                    feasible_start = np.isfinite(cache.objective_of(levels))
+                else:
+                    feasible_start = np.isfinite(self._objective(problem, levels))
+                if not feasible_start:
                     levels = initial_levels(problem, "max")
-            levels, val, sweeps = self._descend(problem, levels.copy())
+            levels, val, sweeps = self._descend(problem, levels.copy(), cache)
             total_sweeps += sweeps
             if val < best_val:
                 best_val = val
                 best_levels = levels.copy()
 
-        assert best_levels is not None
-        dist = distribute_load(problem, best_levels)
-        action = FleetAction(
-            levels=best_levels, per_server_load=dist.per_server_load
-        )
-        return SlotSolution(
-            action=action,
-            evaluation=problem.evaluate(action),
-            info={"sweeps": total_sweeps, "restarts": self.restarts},
-        )
+        if best_levels is None:
+            # Every restart descended to +inf: no configuration reachable by
+            # single-coordinate moves satisfies the operational caps.
+            raise InfeasibleError(
+                "coordinate descent found no configuration satisfying the "
+                "operational caps; try more restarts or another engine"
+            )
+        if cache is not None:
+            action, evaluation = cache.solution_for(best_levels)
+        else:
+            dist = distribute_load(problem, best_levels)
+            action = FleetAction(
+                levels=best_levels, per_server_load=dist.per_server_load
+            )
+            evaluation = problem.evaluate(action)
+
+        info: dict = {"sweeps": total_sweeps, "restarts": self.restarts}
+        if cache is not None:
+            info["fastpath"] = cache.stats.as_dict()
+            info["inner_solves"] = cache.stats.inner_solves
+            info["evaluations"] = cache.stats.evaluations
+
+        if tele.enabled:
+            elapsed = time.perf_counter() - started
+            tele.metrics.histogram("cd.solve_time_s").observe(elapsed)
+            tele.metrics.counter("cd.solves").inc()
+            if cache is not None:
+                stats = cache.stats
+                tele.metrics.counter("cd.inner_solves").inc(stats.inner_solves)
+                tele.metrics.counter("cd.evaluations").inc(stats.evaluations)
+                tele.metrics.counter("cd.cache_hits").inc(stats.cache_hits)
+                tele.metrics.counter("cd.warm_starts").inc(stats.warm_solves)
+                tele.metrics.counter("cd.screened_infeasible").inc(
+                    stats.screened_infeasible
+                )
+
+        return SlotSolution(action=action, evaluation=evaluation, info=info)

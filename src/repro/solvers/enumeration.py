@@ -115,8 +115,12 @@ class HomogeneousEnumerationSolver(SlotSolver):
                 off_tail = np.concatenate(([0.0], np.cumsum(prev[::-1])))[::-1]
                 sw_energy = sw_energy + problem.switching.energy_per_toggle * off_tail
 
-        facility = pue * it_power + sw_energy[:, None]
-        brown = np.maximum(facility - problem.onsite, 0.0)
+        # MW/MWh conversion mirrors SlotProblem.evaluate: switching energy
+        # enters the power balance divided by the slot length, brown energy
+        # is the shortfall times the slot length.
+        slot_h = problem.slot_hours
+        facility = pue * it_power + sw_energy[:, None] / slot_h
+        brown = np.maximum(facility - problem.onsite, 0.0) * slot_h
         e_cost = _tariff_cost_vec(problem, brown)
         with np.errstate(invalid="ignore"):
             delay_sum = M * problem.delay_model.cost(load, speeds[None, :])
@@ -124,7 +128,7 @@ class HomogeneousEnumerationSolver(SlotSolver):
             if problem.network_delay > 0.0:
                 # Every feasible candidate serves the full arrival rate.
                 delay_sum = delay_sum + problem.network_delay * lam
-            delay_cost = problem.delay_weight * delay_sum
+            delay_cost = problem.delay_weight * delay_sum * slot_h
             g_cost = e_cost + delay_cost
             # Optional operational caps (section 3.1).
             if problem.peak_power_cap is not None:

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .fastpath import EvaluationCache, FastPathStats
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
 
@@ -119,6 +120,19 @@ class GSDSolver(SlotSolver):
         and best objective, temperature, windowed acceptance rate) is
         emitted every ``log_interval`` iterations.  Without telemetry the
         interval is ignored and the chain runs exactly as before.
+    use_cache:
+        Route candidate scoring through the per-solve
+        :class:`~repro.solvers.fastpath.EvaluationCache`: revisited level
+        vectors cost a dict hit, and clearly infeasible proposals are
+        screened in O(1) instead of a full inner solve.  Results are
+        bit-identical with the cache on or off (see fastpath docs); the
+        default is on.
+    warm_start:
+        Seed each inner solve's bisection brackets from the previous
+        candidate's solution (requires ``use_cache``).  Warm-started solves
+        match cold ones to <= 1e-9 relative objective error, so this knob
+        is off by default and flipped where that tolerance is acceptable
+        (benchmarks, long sweeps).
     """
 
     def __init__(
@@ -131,6 +145,8 @@ class GSDSolver(SlotSolver):
         record_history: bool = False,
         failed_groups: Sequence[int] | None = None,
         log_interval: int = 100,
+        use_cache: bool = True,
+        warm_start: bool = False,
     ):
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -146,8 +162,12 @@ class GSDSolver(SlotSolver):
             if initial_levels is None
             else np.asarray(initial_levels, dtype=np.int64).copy()
         )
+        if warm_start and not use_cache:
+            raise ValueError("warm_start requires use_cache")
         self.record_history = record_history
         self.log_interval = log_interval
+        self.use_cache = use_cache
+        self.warm_start = warm_start
         # Chain counter: stamps telemetry events with a per-solver
         # solve_index so the convergence diagnostics can group the
         # gsd.iteration stream by chain.  Only advanced when telemetry is
@@ -209,6 +229,17 @@ class GSDSolver(SlotSolver):
         if healthy.size == 0:
             raise ValueError("every group has failed")
 
+        cache = (
+            EvaluationCache(problem, warm_start=self.warm_start)
+            if self.use_cache
+            else None
+        )
+
+        def score(lv: np.ndarray) -> float:
+            if cache is not None:
+                return cache.objective_of(lv)
+            return self._objective_of(problem, lv)
+
         if self.initial_levels is not None:
             levels = self.initial_levels.copy()
             if levels.shape != (G,):
@@ -216,11 +247,13 @@ class GSDSolver(SlotSolver):
         else:
             levels = (fleet.num_levels - 1).astype(np.int64)
         levels[self.failed_groups] = -1  # failed machines are dark
-        current = self._objective_of(problem, levels)
+        current = score(levels)
         if not np.isfinite(current):
             levels = (fleet.num_levels - 1).astype(np.int64)
             levels[self.failed_groups] = -1
-            current = self._objective_of(problem, levels)
+            if cache is not None:
+                cache.note_all()
+            current = score(levels)
         best_levels, best = levels.copy(), current
 
         hist_chain = np.empty(self.iterations)
@@ -267,7 +300,9 @@ class GSDSolver(SlotSolver):
                 _log_window(it)
                 continue
             levels[g] = proposal
-            explored = self._objective_of(problem, levels)
+            if cache is not None:
+                cache.note_changed(g)
+            explored = score(levels)
             n_solves += 1
 
             if np.isfinite(explored):
@@ -290,15 +325,22 @@ class GSDSolver(SlotSolver):
                     last_improve = it + 1
             else:
                 levels[g] = old_level
+                if cache is not None:
+                    cache.note_changed(g)
             hist_chain[it], hist_best[it] = current, best
             _log_window(it)
 
+        stats = cache.stats if cache is not None else FastPathStats(cold_solves=n_solves)
         if tele.enabled:
             elapsed = time.perf_counter() - started
             acceptance = float(hist_acc.mean())
             metrics = tele.metrics
             metrics.counter("gsd.solves").inc()
-            metrics.counter("gsd.inner_solves").inc(n_solves)
+            metrics.counter("gsd.inner_solves").inc(stats.inner_solves)
+            metrics.counter("gsd.evaluations").inc(n_solves)
+            metrics.counter("gsd.cache_hits").inc(stats.cache_hits)
+            metrics.counter("gsd.warm_starts").inc(stats.warm_solves)
+            metrics.counter("gsd.screened_infeasible").inc(stats.screened_infeasible)
             metrics.histogram("gsd.solve_time_s").observe(elapsed)
             metrics.histogram("gsd.iterations_to_convergence").observe(last_improve)
             metrics.histogram("gsd.acceptance_rate").observe(acceptance)
@@ -306,18 +348,38 @@ class GSDSolver(SlotSolver):
                 "gsd.solve",
                 solve_index=solve_index,
                 iterations=self.iterations,
-                inner_solves=n_solves,
+                inner_solves=stats.inner_solves,
+                evaluations=n_solves,
+                cache_hits=stats.cache_hits,
+                warm_starts=stats.warm_solves,
+                screened_infeasible=stats.screened_infeasible,
                 best_objective=float(best),
                 acceptance_rate=acceptance,
                 iterations_to_convergence=last_improve,
                 solve_time_s=elapsed,
             )
 
-        dist = distribute_load(problem, best_levels)
-        action = FleetAction(levels=best_levels, per_server_load=dist.per_server_load)
+        if not np.isfinite(best):
+            # The chain observed no configuration satisfying the operational
+            # caps; returning the (cap-violating) chain state would silently
+            # hand the controller an infeasible action.
+            raise InfeasibleError(
+                "GSD chain never reached a configuration satisfying the "
+                "operational caps; increase iterations or relax the caps"
+            )
+        if cache is not None:
+            action, final_evaluation = cache.solution_for(best_levels)
+        else:
+            dist = distribute_load(problem, best_levels)
+            action = FleetAction(
+                levels=best_levels, per_server_load=dist.per_server_load
+            )
+            final_evaluation = problem.evaluate(action)
         info: dict = {
             "chain_levels": levels.copy(),
-            "inner_solves": n_solves,
+            "inner_solves": stats.inner_solves,
+            "evaluations": n_solves,
+            "fastpath": stats.as_dict(),
             "final_objective": best,
         }
         if self.record_history:
@@ -327,4 +389,4 @@ class GSDSolver(SlotSolver):
                 accepted=hist_acc,
                 temperature=hist_temp,
             )
-        return SlotSolution(action=action, evaluation=problem.evaluate(action), info=info)
+        return SlotSolution(action=action, evaluation=final_evaluation, info=info)

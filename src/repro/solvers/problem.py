@@ -115,6 +115,13 @@ class SlotProblem:
         variable and added into (4)").  Adds ``served_load * network_delay``
         to the delay sum; it scales with served load only, so it shifts
         reported costs without changing the optimization.
+    slot_hours:
+        Length of the slot in hours (default 1.0, the paper's hourly
+        slotting).  Powers (MW) and energies (MWh) convert through this
+        factor: switching *energy* enters facility *power* divided by the
+        slot length, and brown energy is the power shortfall times the slot
+        length.  With the historical implicit 1-hour slots the two were
+        numerically interchangeable; at any other slot length they are not.
     """
 
     fleet: Fleet
@@ -135,6 +142,7 @@ class SlotProblem:
     max_delay_cost: float | None = None
     network_delay: float = 0.0
     pue_override: float | None = None
+    slot_hours: float = 1.0
 
     def __post_init__(self) -> None:
         if self.arrival_rate < 0:
@@ -164,6 +172,8 @@ class SlotProblem:
             raise ValueError("network delay must be non-negative")
         if self.pue_override is not None and self.pue_override < 1.0:
             raise ValueError("PUE must be >= 1")
+        if self.slot_hours <= 0:
+            raise ValueError("slot length must be positive")
 
     # ------------------------------------------------------------------
     # Derived weights
@@ -199,9 +209,15 @@ class SlotProblem:
     # Evaluation
     # ------------------------------------------------------------------
     def brown_energy(self, it_power: float, extra_energy: float = 0.0) -> float:
-        """Brown draw ``[PUE * p + extra - r]^+`` in MWh for the slot."""
-        facility = self.power_model.facility_power(it_power, pue=self.pue) + extra_energy
-        return max(facility - self.onsite, 0.0)
+        """Brown draw in MWh for the slot: the facility-power shortfall
+        against the renewable supply, times the slot length.  The optional
+        ``extra_energy`` (MWh, e.g. switching) enters the power balance
+        divided by the slot length."""
+        facility = (
+            self.power_model.facility_power(it_power, pue=self.pue)
+            + extra_energy / self.slot_hours
+        )
+        return max(facility - self.onsite, 0.0) * self.slot_hours
 
     def violates_caps(self, evaluation: "SlotEvaluation") -> bool:
         """Whether an evaluated action breaks the optional operational caps
@@ -234,10 +250,16 @@ class SlotProblem:
                 self.prev_on_counts, action.on_counts(self.fleet)
             )
 
-        facility = self.power_model.facility_power(it_power, pue=self.pue) + switching_energy
-        brown = max(facility - self.onsite, 0.0)
+        # Powers are MW, energies MWh: switching energy enters the power
+        # balance divided by the slot length, and brown energy is the power
+        # shortfall times the slot length (both no-ops at 1-hour slots).
+        facility = (
+            self.power_model.facility_power(it_power, pue=self.pue)
+            + switching_energy / self.slot_hours
+        )
+        brown = max(facility - self.onsite, 0.0) * self.slot_hours
         e_cost = self.tariff.cost(brown, self.price)
-        d_cost = self.delay_weight * delay_sum
+        d_cost = self.delay_weight * delay_sum * self.slot_hours
         sw_cost = 0.0  # switching is charged as energy, already inside e_cost
         g = e_cost + d_cost
         objective = self.V * g + self.q * brown

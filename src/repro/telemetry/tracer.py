@@ -43,6 +43,7 @@ __all__ = [
     "JsonlTracer",
     "NULL_TRACER",
     "new_run_id",
+    "sanitize_json_value",
 ]
 
 #: Trace-format revision stamped on every event.  Bump when the event
@@ -66,6 +67,34 @@ def _jsonable(value: Any):
     if isinstance(value, np.ndarray):
         return value.tolist()
     raise TypeError(f"event field of type {type(value).__name__} is not JSON-serializable")
+
+
+def sanitize_json_value(value: Any):
+    """Make ``value`` strict-JSON safe: non-finite floats become ``None``.
+
+    ``json.dumps`` happily writes ``Infinity``/``NaN`` tokens, which are
+    *not* JSON -- strict parsers (browsers, ``jq``, other languages) reject
+    the whole line.  Events hit this for real: a GSD chain that starts from
+    an infeasible configuration reports ``chain_objective = inf`` until the
+    first feasible acceptance.  Sinks that write JSON to disk run every
+    event through this walk, mapping non-finite floats to ``null`` (the
+    reader-side convention for "no finite value") and normalizing numpy
+    scalars/arrays along the way.
+    """
+    if isinstance(value, bool | np.bool_):
+        return bool(value)
+    if isinstance(value, float | np.floating):
+        f = float(value)
+        return f if np.isfinite(f) else None
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, dict):
+        return {k: sanitize_json_value(v) for k, v in value.items()}
+    if isinstance(value, list | tuple):
+        return [sanitize_json_value(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return sanitize_json_value(value.tolist())
+    return value
 
 
 class Tracer:
@@ -164,7 +193,13 @@ class JsonlTracer(Tracer):
         self.emit_event(event)
 
     def emit_event(self, event: dict) -> None:
-        self._fh.write(json.dumps(event, default=_jsonable))
+        # allow_nan=False backstops the sanitizer: a non-finite float
+        # slipping through is a loud TypeError here, never an invalid line.
+        self._fh.write(
+            json.dumps(
+                sanitize_json_value(event), default=_jsonable, allow_nan=False
+            )
+        )
         self._fh.write("\n")
         self.count += 1
 

@@ -421,3 +421,55 @@ class TestParallelSweeps:
         assert telemetry.metrics.counter("sim.slots").value == len(values) * horizon
         outcomes = [e for e in telemetry.events if e["kind"] == "slot.outcome"]
         assert len(outcomes) == len(values) * horizon
+
+
+class TestNonFiniteSanitization:
+    """Non-finite floats must become ``null`` at the JSONL sink boundary.
+
+    A GSD chain started under a peak-power cap that excludes every
+    configuration carries ``best_objective = inf`` through its whole run;
+    ``json.dumps`` would happily write the bare ``Infinity`` token, which is
+    not JSON and breaks every strict parser downstream.  The tracer
+    sanitizes at the boundary, and the CLI consumers (``repro telemetry``,
+    ``repro dashboard``) must round-trip the resulting ``null``s.
+    """
+
+    def _write_inf_trace(self, tmp_path, tiny_model):
+        from dataclasses import replace
+
+        from repro.solvers import InfeasibleError
+        from tests.conftest import make_problem
+
+        p = replace(make_problem(tiny_model, lam_frac=0.3), peak_power_cap=1e-9)
+        path = tmp_path / "inf.jsonl"
+        tracer = JsonlTracer(path)
+        solver = GSDSolver(iterations=40, rng=np.random.default_rng(0))
+        solver.bind_telemetry(Telemetry(tracer=tracer))
+        with pytest.raises(InfeasibleError):
+            solver.solve(p)
+        tracer.close()
+        return path
+
+    def test_trace_is_strict_json(self, tmp_path, tiny_model):
+        path = self._write_inf_trace(tmp_path, tiny_model)
+        text = path.read_text()
+        assert "Infinity" not in text and "NaN" not in text
+
+        def reject(token):  # json only calls this for Infinity/-Infinity/NaN
+            raise AssertionError(f"non-strict token {token!r} in trace")
+
+        events = [
+            json.loads(line, parse_constant=reject) for line in text.splitlines()
+        ]
+        solves = [e for e in events if e["kind"] == "gsd.solve"]
+        assert solves and solves[0]["best_objective"] is None
+
+    def test_cli_consumers_survive_nulls(self, tmp_path, tiny_model, capsys):
+        from repro.cli import main
+
+        path = self._write_inf_trace(tmp_path, tiny_model)
+        assert main(["telemetry", str(path)]) == 0
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--trace", str(path), "-o", str(out)]) == 0
+        assert out.exists() and "<html" in out.read_text().lower()
+        capsys.readouterr()
