@@ -14,6 +14,7 @@ report         full markdown scenario report
 traces         summarize any of the synthetic trace generators
 telemetry      summarize a JSONL event trace written by ``--trace-out``
 dashboard      offline HTML health report (monitors + charts) from a trace
+chaos          COCA under seeded fault injection (failures, lossy messaging)
 =============  ==========================================================
 
 Scenario commands accept ``--scale {small,paper}`` (a 400-server fortnight
@@ -292,6 +293,167 @@ def _cmd_dashboard(args) -> int:
     return 0
 
 
+def _chaos_schedule(args, horizon: int, num_groups: int):
+    """The run's fault schedule: loaded from ``--schedule`` or generated."""
+    from .faults import FaultSchedule
+
+    if args.schedule:
+        return FaultSchedule.from_json(args.schedule)
+    return FaultSchedule.generate(
+        args.fault_seed,
+        horizon=horizon,
+        num_groups=num_groups,
+        failure_rate=args.failure_rate,
+        mean_repair=args.mean_repair,
+        signal_rate=args.signal_rate,
+        loss=args.loss,
+        delay=args.delay,
+        duplicate=args.duplicate,
+    )
+
+
+def _chaos_run(scenario, schedule, args, telemetry):
+    """One seeded chaos run; returns (record, injector, policy)."""
+    from .core.coca import COCA
+    from .faults import DegradationPolicy, FaultInjector
+    from .sim import simulate
+    from .solvers import DistributedGSD
+
+    solver = None
+    if args.distributed:
+        solver = DistributedGSD(
+            iterations=args.iterations,
+            rng=np.random.default_rng(args.fault_seed),
+        )
+    controller = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=args.v,
+        alpha=scenario.alpha,
+        solver=solver,
+    )
+    injector = FaultInjector(
+        schedule, num_groups=scenario.model.fleet.num_groups
+    )
+    policy = DegradationPolicy(mode=args.fallback, retries=args.retries)
+    record = simulate(
+        scenario.model,
+        controller,
+        scenario.environment,
+        telemetry=telemetry,
+        faults=injector,
+        degradation=policy,
+    )
+    return record, injector, policy
+
+
+#: Record arrays compared for bit-identical chaos replays.
+_REPLAY_FIELDS = (
+    "cost",
+    "brown_energy",
+    "queue",
+    "served",
+    "dropped",
+    "facility_power",
+    "v_applied",
+)
+
+
+def _cmd_chaos(args) -> int:
+    from .monitor import default_suite
+    from .monitor.suite import MonitoringTracer
+    from .telemetry import JsonlTracer, Telemetry, write_metrics
+
+    scenario = _build_scenario(args)
+    schedule = _chaos_schedule(
+        args, scenario.horizon, scenario.model.fleet.num_groups
+    )
+    if args.schedule_out:
+        schedule.to_json(path=args.schedule_out)
+        print(f"fault schedule written to {args.schedule_out}")
+    profile = schedule.messages
+    print(
+        f"chaos: {len(schedule.events)} timed events over {scenario.horizon} h"
+        + (
+            f"; messages loss={profile.loss:.2f} delay={profile.delay:.2f} "
+            f"duplicate={profile.duplicate:.2f}"
+            if profile is not None
+            else "; reliable messaging"
+        )
+    )
+    if profile is not None and not args.distributed:
+        print(
+            "note: message faults only bite with --distributed "
+            "(the default solvers pass no messages)"
+        )
+
+    # The monitor tap sits on the trace path, so the suite sees the run
+    # live whether or not a trace file was requested.
+    suite = default_suite()
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    telemetry = Telemetry(tracer=MonitoringTracer(suite, tracer))
+    record, injector, policy = _chaos_run(scenario, schedule, args, telemetry)
+    suite.finalize()
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace_out} ({tracer.count} events)")
+    if args.metrics_out:
+        write_metrics(telemetry.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+    summary = injector.summary()
+    deg = policy.stats()
+    print(
+        f"faults: {summary['injected']} injected "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(summary['by_kind'].items())) or 'none'}), "
+        f"{summary['suppressed']} suppressed; "
+        f"{deg['fallbacks']} fallback slot(s) ({deg['mode']}), "
+        f"{deg['solve_retries']} solve retries"
+    )
+    if summary.get("last_bus"):
+        bus = summary["last_bus"]
+        print(
+            f"bus (last solve): {bus.get('delivered', 0)} delivered, "
+            f"{bus.get('dropped', 0)} dropped, {bus.get('delayed', 0)} delayed, "
+            f"{bus.get('duplicated', 0)} duplicated over {summary['bus_solves']} solves"
+        )
+    print(
+        f"run: cost ${record.cost.sum():,.0f}, "
+        f"brown {record.brown_energy.sum():.4g} MWh, "
+        f"dropped {record.dropped.sum():.4g} req/s, "
+        f"final queue {record.queue[-1]:.4g} MWh"
+    )
+    reports = suite.reports()
+    passing = sum(1 for r in reports if r.passed)
+    print(f"monitors: {passing}/{len(reports)} passing")
+    for report in reports:
+        if not report.passed:
+            print(f"  FAIL {report.monitor}: {report.detail}", file=sys.stderr)
+
+    ok = True
+    if args.verify_replay:
+        replayed, _, _ = _chaos_run(scenario, schedule, args, telemetry=None)
+        mismatched = [
+            name
+            for name in _REPLAY_FIELDS
+            if not np.array_equal(getattr(record, name), getattr(replayed, name))
+        ]
+        if mismatched:
+            ok = False
+            print(
+                f"repro chaos: replay DIVERGED in {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+        else:
+            print("replay: bit-identical across "
+                  f"{len(_REPLAY_FIELDS)} record arrays")
+    if not ok:
+        return 1
+    if args.strict and passing < len(reports):
+        return 2
+    return 0
+
+
 # ----------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
@@ -373,6 +535,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when any invariant monitor fails (CI gating)",
     )
     p.set_defaults(func=_cmd_dashboard)
+
+    p = sub.add_parser(
+        "chaos", help="COCA under seeded fault injection (chaos run)"
+    )
+    _add_scenario_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--v", type=float, default=150.0, help="fixed V for the run")
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed for the generated fault schedule (and message faults)",
+    )
+    p.add_argument(
+        "--failure-rate", type=float, default=0.02,
+        help="per-slot, per-group failure probability",
+    )
+    p.add_argument(
+        "--mean-repair", type=float, default=6.0,
+        help="mean slots a failed group stays down",
+    )
+    p.add_argument(
+        "--signal-rate", type=float, default=0.0,
+        help="per-slot probability of a stale/missing observation fault",
+    )
+    p.add_argument(
+        "--loss", type=float, default=0.0, help="message loss probability"
+    )
+    p.add_argument(
+        "--delay", type=float, default=0.0, help="message delay probability"
+    )
+    p.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="message duplication probability",
+    )
+    p.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="replay a fault schedule from JSON instead of generating one",
+    )
+    p.add_argument(
+        "--schedule-out", default=None, metavar="FILE",
+        help="write the schedule (generated or loaded) to JSON for replay",
+    )
+    p.add_argument(
+        "--fallback",
+        choices=["last_action", "proportional"],
+        default="last_action",
+        help="degraded action when a slot solve fails",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="slot-solve retries before falling back",
+    )
+    p.add_argument(
+        "--distributed",
+        action="store_true",
+        help="solve P3 with DistributedGSD so message faults apply",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=12,
+        help="DistributedGSD iterations per solve (with --distributed)",
+    )
+    p.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="run twice and require bit-identical records (exit 1 otherwise)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when any invariant monitor fails (CI gating)",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     return parser
 

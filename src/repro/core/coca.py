@@ -20,6 +20,7 @@ import numpy as np
 from ..energy.renewables import RenewablePortfolio
 from ..solvers.base import SlotSolution, SlotSolver
 from ..solvers.convex import CoordinateDescentSolver
+from ..solvers.degraded import solve_with_failed_groups
 from ..solvers.enumeration import HomogeneousEnumerationSolver
 from .config import DataCenterModel
 from .controller import Controller, SlotObservation, SlotOutcome
@@ -92,6 +93,9 @@ class COCA(Controller):
         self._frame_cost = 0.0
         self._frame_deficit = 0.0
         self._frame_slots = 0
+        self._frame_started = -1  # guards frame logic against decide retries
+        # Groups currently down (fault injection); empty = all healthy.
+        self._failed: frozenset[int] = frozenset()
 
     # ------------------------------------------------------------------
     def bind_telemetry(self, telemetry) -> None:
@@ -129,11 +133,21 @@ class COCA(Controller):
             )
 
     # ------------------------------------------------------------------
+    def set_failed_groups(self, failed: frozenset[int]) -> None:
+        """Fault-injection hook: solve subsequent slots on the sub-fleet of
+        healthy groups (section 4.2's failures-shrink-the-feasible-set
+        reading).  The empty set restores the ordinary solve path."""
+        self._failed = frozenset(failed)
+
     def decide(self, observation: SlotObservation) -> SlotSolution:
         t = observation.t
         T = self.effective_frame_length
-        if t % T == 0:
-            frame = t // T
+        frame = t // T
+        # The frame guard makes decide idempotent per slot: a degraded
+        # simulator may retry a slot's decide after a lost protocol round,
+        # and the reset must not run twice (nor feed an adaptive schedule
+        # zeroed feedback).
+        if t % T == 0 and frame != self._frame_started:
             feedback = None
             if self._frame_slots > 0:
                 feedback = FrameFeedback(
@@ -145,9 +159,7 @@ class COCA(Controller):
             self.queue.reset()
             self._frame_cost = self._frame_deficit = 0.0
             self._frame_slots = 0
-
-        self.v_history.append(self._current_v)
-        self.queue_at_decision.append(self.queue.length)
+            self._frame_started = frame
 
         problem = self.model.slot_problem(
             arrival_rate=observation.arrival_rate,
@@ -159,9 +171,30 @@ class COCA(Controller):
             V=self._current_v,
             prev_on_counts=self._prev_on,
         )
-        solution = self.solver.solve(problem)
+        if self._failed:
+            solution = solve_with_failed_groups(self.solver, problem, self._failed)
+        else:
+            solution = self.solver.solve(problem)
+        # Histories are appended only once the solve succeeds, so a failed
+        # slot (handled via on_fallback) never records twice or misaligns.
+        self.v_history.append(self._current_v)
+        self.queue_at_decision.append(self.queue.length)
         self._prev_on = solution.action.on_counts(self.model.fleet)
         return solution
+
+    def on_fallback(self, observation: SlotObservation, solution: SlotSolution) -> None:
+        """Keep per-slot records aligned when the simulator committed a
+        degraded action in place of this slot's failed solve."""
+        self.v_history.append(self._current_v)
+        self.queue_at_decision.append(self.queue.length)
+        self._prev_on = solution.action.on_counts(self.model.fleet)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "controller.fallback",
+                t=observation.t,
+                v=self._current_v,
+                queue=self.queue.length,
+            )
 
     def observe(self, outcome: SlotOutcome) -> None:
         brown = outcome.evaluation.brown_energy

@@ -76,6 +76,26 @@ class Controller(ABC):
     def observe(self, outcome: SlotOutcome) -> None:
         """End-of-slot feedback; default is stateless."""
 
+    # -- fault-injection hooks (see repro.faults) ----------------------
+    def set_failed_groups(self, failed: frozenset[int]) -> None:
+        """Tell the controller which server groups are currently down.
+
+        Called by the simulator before each ``decide`` when fault
+        injection is active; the empty set means all groups are healthy.
+        The default ignores it — the engine still masks failed groups out
+        of the *realized* action, so an unaware controller stays
+        physically correct, just suboptimal.
+        """
+
+    def on_fallback(self, observation: SlotObservation, solution: SlotSolution) -> None:
+        """A degraded action replaced this slot's failed ``decide``.
+
+        Called instead of a successful ``decide`` return, with the
+        fallback the simulator committed.  Stateful controllers override
+        this to keep their bookkeeping (previous on-set, per-slot history)
+        aligned with what actually ran; the default does nothing.
+        """
+
     def name(self) -> str:
         """Identifier used in reports and tables."""
         return type(self).__name__

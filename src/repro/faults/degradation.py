@@ -1,0 +1,168 @@
+"""Graceful degradation when a slot solve cannot complete.
+
+The paper assumes every slot's P3 is solvable and every protocol round
+completes; under injected chaos neither holds.  The simulator's contract
+stays simple: *a data center never stops serving because an optimizer
+failed*.  :class:`DegradationPolicy` decides what to run instead when the
+controller's ``decide`` raises — a lost protocol round
+(:class:`~repro.solvers.messaging.BusTimeoutError`, retried up to
+``retries`` extra times first) or an infeasible slot
+(:class:`~repro.solvers.problem.InfeasibleError`, not retried: it is
+deterministic):
+
+* ``"last_action"`` (default): reuse the last committed configuration,
+  masked to the currently-healthy groups, its load redistributed to the
+  slot's workload; falls through to proportional dispatch when there is no
+  usable last action.
+* ``"proportional"``: every healthy group to top speed, load spread
+  pro-rata to capped capacity — the classic "dumb but safe" dispatch.
+
+Fallback actions are *planned* actions like any controller decision: the
+engine still realizes them against the actual arrival (clipping at the
+utilization cap, recording drops) and bills realized costs, so the
+carbon-deficit queue keeps running on real brown energy and Theorem 2
+accounting carries through degraded slots unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.fleet import FleetAction
+from ..core.config import DataCenterModel
+from ..core.controller import SlotObservation
+from ..solvers.base import SlotSolution
+from ..solvers.problem import InfeasibleError
+
+__all__ = ["DegradationPolicy", "proportional_action"]
+
+#: Fallback modes a policy may use.
+FALLBACK_MODES = ("last_action", "proportional")
+
+
+def proportional_action(
+    model: DataCenterModel,
+    arrival_rate: float,
+    failed: frozenset[int] | set[int] = frozenset(),
+) -> FleetAction:
+    """Top-speed levels on healthy groups, load pro-rata to capacity.
+
+    Deliberately ignores cost: this runs when optimization is unavailable
+    and the only goal is serving the workload within the utilization cap.
+    """
+    fleet = model.fleet
+    levels = np.array(
+        [
+            -1 if g in failed else fleet.groups[g].profile.num_speeds - 1
+            for g in range(fleet.num_groups)
+        ],
+        dtype=np.int64,
+    )
+    caps = np.where(levels >= 0, model.gamma * fleet.group_speeds(levels), 0.0)
+    total = float(np.sum(fleet.counts * caps))
+    if total <= 0.0:
+        raise InfeasibleError("no healthy capacity for proportional dispatch")
+    ratio = min(max(arrival_rate, 0.0) / total, 1.0)
+    return FleetAction(levels=levels, per_server_load=caps * ratio)
+
+
+@dataclass
+class DegradationPolicy:
+    """How the simulator degrades when a slot solve fails.
+
+    Mutable counters (``fallbacks``, ``solve_retries``, ``by_reason``)
+    accumulate over a run for the ``fault.summary`` event and CLI report.
+    """
+
+    mode: str = "last_action"
+    retries: int = 1
+    fallbacks: int = 0
+    solve_retries: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in FALLBACK_MODES:
+            raise ValueError(f"fallback mode must be one of {FALLBACK_MODES}")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+
+    # ------------------------------------------------------------------
+    def fallback(
+        self,
+        model: DataCenterModel,
+        observation: SlotObservation,
+        last_action: FleetAction | None,
+        failed: frozenset[int] | set[int] = frozenset(),
+    ) -> SlotSolution:
+        """The action to run instead of the failed solve.
+
+        Raises :class:`InfeasibleError` only when *no* healthy capacity
+        exists at all — the one situation with nothing left to degrade to.
+        """
+        action: FleetAction | None = None
+        used = self.mode
+        if self.mode == "last_action" and last_action is not None:
+            action = self._rescale_last(model, observation, last_action, failed)
+        if action is None:
+            used = "proportional"
+            action = proportional_action(model, observation.arrival_rate, failed)
+
+        # Evaluate at (q=0, V=1): the planned-cost view for telemetry.  The
+        # engine re-evaluates the realized action with the slot's actual
+        # arrival, so run accounting never depends on these numbers.
+        problem = model.slot_problem(
+            arrival_rate=observation.arrival_rate,
+            onsite=observation.onsite,
+            price=observation.price,
+            network_delay=observation.network_delay,
+            pue_override=observation.pue,
+        )
+        return SlotSolution(
+            action=action,
+            evaluation=problem.evaluate(action),
+            info={"fallback": used, "failed_groups": sorted(failed)},
+        )
+
+    def _rescale_last(
+        self,
+        model: DataCenterModel,
+        observation: SlotObservation,
+        last_action: FleetAction,
+        failed: frozenset[int] | set[int],
+    ) -> FleetAction | None:
+        """Mask the last action to healthy groups and retarget its load to
+        the slot's workload; ``None`` when nothing usable remains on."""
+        fleet = model.fleet
+        levels = np.where(
+            np.isin(np.arange(fleet.num_groups), sorted(failed)),
+            -1,
+            last_action.levels,
+        ).astype(np.int64)
+        caps = np.where(levels >= 0, model.gamma * fleet.group_speeds(levels), 0.0)
+        weights = fleet.counts * caps
+        total = float(weights.sum())
+        if total <= 0.0:
+            return None
+        ratio = min(max(observation.arrival_rate, 0.0) / total, 1.0)
+        return FleetAction(levels=levels, per_server_load=caps * ratio)
+
+    # ------------------------------------------------------------------
+    def record(self, reason: str, *, fallback: bool) -> None:
+        """Count one degradation decision (engine bookkeeping)."""
+        if fallback:
+            self.fallbacks += 1
+            self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        else:
+            self.solve_retries += 1
+
+    def stats(self) -> dict:
+        """Accumulated degradation counters for summaries."""
+        return {
+            "mode": self.mode,
+            "retries": int(self.retries),
+            "fallbacks": int(self.fallbacks),
+            "solve_retries": int(self.solve_retries),
+            "by_reason": dict(self.by_reason),
+        }

@@ -23,6 +23,7 @@ arithmetic or RNG, so an instrumented run stays bit-identical.  See
 from .alerts import SEVERITIES, Alert, AlertChannel, JsonlAlertSink, stderr_sink
 from .base import HealthMonitor, MonitorReport
 from .dashboard import DASHBOARD_SECTIONS, render_dashboard, write_dashboard
+from .faults import FaultActivityMonitor
 from .gsd import GSDAcceptanceMonitor, GSDDispersionMonitor, GSDStallMonitor
 from .invariants import (
     BudgetTrajectoryMonitor,
@@ -55,6 +56,7 @@ __all__ = [
     "GSDAcceptanceMonitor",
     "GSDStallMonitor",
     "GSDDispersionMonitor",
+    "FaultActivityMonitor",
     "MonitorSuite",
     "MonitoringTracer",
     "default_suite",

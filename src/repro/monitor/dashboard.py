@@ -15,6 +15,7 @@ Sections (each with a stable anchor the tests pin):
 ``#run``               header stat tiles (cost, brown, queue, alerts)
 ``#invariants``        monitor pass/fail table
 ``#alerts``            deduplicated alert log
+``#faults``            injected-fault / degradation event log (chaos runs)
 ``#deficit-queue``     q(t) sparkline
 ``#energy-mix``        brown vs. renewable energy per slot
 ``#cost``              realized cost per slot
@@ -43,6 +44,7 @@ DASHBOARD_SECTIONS = (
     "run",
     "invariants",
     "alerts",
+    "faults",
     "deficit-queue",
     "energy-mix",
     "cost",
@@ -309,6 +311,64 @@ def _alert_table(suite: MonitorSuite) -> str:
     )
 
 
+def _fault_table(events: list[dict]) -> str:
+    """Event log of the run's fault injections and degradation decisions."""
+    rows = []
+    for e in events:
+        kind = e.get("kind", "")
+        if kind == "fault.inject":
+            what = str(e.get("fault", "?"))
+            if what in ("group_fail", "group_repair"):
+                detail = f"group {e.get('group')}"
+            else:
+                detail = (
+                    f"{e.get('field')} {e.get('mode')} "
+                    f"for {e.get('duration')} slot(s)"
+                )
+            down = e.get("failed_groups", [])
+            if down:
+                detail += f" — groups down: {down}"
+        elif kind == "fault.suppressed":
+            what = f"suppressed {e.get('fault', '?')}"
+            detail = f"reason: {e.get('reason')}"
+        elif kind == "fault.solve_retry":
+            what = "solve retry"
+            detail = f"attempt {e.get('attempt')}: {e.get('error')}"
+        elif kind == "fault.fallback":
+            what = "fallback"
+            detail = f"{e.get('mode')} after {e.get('reason')}"
+        else:
+            continue
+        rows.append(
+            "<tr>"
+            f'<td class="num">{_esc(e.get("t", "–"))}</td>'
+            f"<td>{_esc(what)}</td><td>{_esc(detail)}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return (
+            '<p class="empty">no fault.* events — '
+            "this run injected no faults</p>"
+        )
+    summary = next(
+        (e for e in reversed(events) if e.get("kind") == "fault.summary"), None
+    )
+    caption = ""
+    if summary is not None:
+        deg = summary.get("degradation", {}) or {}
+        caption = (
+            f'<p class="subtitle">{summary.get("injected", 0)} injected, '
+            f'{summary.get("suppressed", 0)} suppressed, '
+            f"{deg.get('fallbacks', 0)} fallback slot(s), "
+            f"{deg.get('solve_retries', 0)} solve retries</p>"
+        )
+    return (
+        caption
+        + "<table><thead><tr><th>slot</th><th>event</th><th>detail</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
 # ------------------------------------------------------------------ render
 def render_dashboard(
     events: list[dict],
@@ -408,6 +468,7 @@ def render_dashboard(
         f'<section id="run"><div class="tiles">{tile_html}</div></section>',
         f'<section id="invariants"><h2>Invariants</h2>{_invariant_table(suite)}</section>',
         f'<section id="alerts"><h2>Alert log</h2>{_alert_table(suite)}</section>',
+        f'<section id="faults"><h2>Fault injections</h2>{_fault_table(events)}</section>',
         _chart_section(
             "deficit-queue", "Carbon-deficit queue",
             "q(t) in MWh after each slot's update (Eq. 17)",

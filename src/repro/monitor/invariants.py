@@ -327,17 +327,23 @@ class LoadConservationMonitor(HealthMonitor):
 
 
 class DroppedLoadMonitor(HealthMonitor):
-    """Dropped-load thresholds.
+    """Dropped-load thresholds, fault-aware.
 
     Under the paper's overestimation regime (``phi >= 1``) no load is ever
     dropped, so *any* per-slot drop beyond ``slot_threshold`` (default: any
     drop at all) raises a warning; a run whose total dropped fraction
     exceeds ``run_threshold`` ends with a critical alert.
+
+    Chaos runs are the exception: while ``fault.inject`` events report
+    server groups down, the capacity to serve everything may simply not
+    exist, so drops in those slots are *reported* (info alert) but excused
+    from the violation count and the run threshold -- only load dropped at
+    full capacity indicts the controller.
     """
 
     name = "dropped-load"
     description = "dropped load stays within per-slot and per-run thresholds"
-    kinds = ("slot.outcome",)
+    kinds = ("slot.outcome", "fault.inject")
 
     def __init__(
         self, *, slot_threshold: float = 0.0, run_threshold: float = 0.01
@@ -347,10 +353,17 @@ class DroppedLoadMonitor(HealthMonitor):
         self.run_threshold = run_threshold
         self.total_dropped = 0.0
         self.total_arrival = 0.0
+        self.degraded_dropped = 0.0
+        self._groups_down = 0
 
     def observe(self, event: dict, alerts: AlertChannel) -> None:
         # Hot path (every slot.outcome): the common dropped == 0 case does
         # two adds and returns.
+        if event["kind"] == "fault.inject":
+            # Emitted at the top of each affected slot, before that slot's
+            # outcome, carrying the post-event set of failed groups.
+            self._groups_down = len(event.get("failed_groups", ()))
+            return
         arrival = float(event.get("arrival_actual", 0.0))
         dropped = float(event.get("dropped", 0.0))
         self.total_dropped += dropped
@@ -359,6 +372,17 @@ class DroppedLoadMonitor(HealthMonitor):
         if dropped <= 0.0:
             return
         fraction = dropped / arrival if arrival > 0 else 1.0
+        if self._groups_down > 0:
+            self.degraded_dropped += dropped
+            alerts.raise_alert(
+                "info",
+                self.name,
+                f"dropped {dropped:.6g} req/s ({100 * fraction:.2f}%) with "
+                f"{self._groups_down} server group(s) down",
+                t=event.get("t"),
+                key=f"{self.name}:degraded",
+            )
+            return
         if fraction > self.slot_threshold:
             self.violations += 1
             alerts.raise_alert(
@@ -372,24 +396,28 @@ class DroppedLoadMonitor(HealthMonitor):
     def finalize(self, alerts: AlertChannel) -> None:
         if self.total_arrival <= 0:
             return
-        fraction = self.total_dropped / self.total_arrival
+        blamed = self.total_dropped - self.degraded_dropped
+        fraction = blamed / self.total_arrival
         if fraction > self.run_threshold:
             self.violations += 1
             alerts.raise_alert(
                 "critical",
                 self.name,
-                f"run dropped {100 * fraction:.2f}% of all load "
-                f"(threshold {100 * self.run_threshold:.2f}%)",
+                f"run dropped {100 * fraction:.2f}% of all load at full "
+                f"capacity (threshold {100 * self.run_threshold:.2f}%)",
                 key=f"{self.name}:run",
             )
 
     def detail(self) -> str:
         if self.total_arrival <= 0:
             return "no arrivals seen"
-        return (
+        out = (
             f"dropped {self.total_dropped:.4g} of {self.total_arrival:.4g} req/s "
             f"({100 * self.total_dropped / self.total_arrival:.3f}%)"
         )
+        if self.degraded_dropped > 0:
+            out += f", {self.degraded_dropped:.4g} during group outages"
+        return out
 
 
 class SlotSanityMonitor(HealthMonitor):

@@ -23,6 +23,8 @@ import numpy as np
 from ..cluster.fleet import FleetAction
 from ..core.config import DataCenterModel
 from ..core.controller import Controller, SlotOutcome
+from ..solvers.messaging import BusTimeoutError
+from ..solvers.problem import InfeasibleError
 from ..telemetry import Telemetry, coerce
 from .environment import Environment
 from .metrics import SimulationRecord
@@ -35,6 +37,8 @@ def realize_action(
     action: FleetAction,
     actual_arrival: float,
     planned_arrival: float,
+    *,
+    failed_groups: "frozenset[int] | set[int] | None" = None,
 ) -> tuple[FleetAction, float]:
     """Map a planned action onto the realized arrival rate.
 
@@ -42,8 +46,20 @@ def realize_action(
     ``actual / planned`` on the committed speeds; scaling *up* is capped at
     ``gamma * speed`` per server, and load that cannot be placed is dropped
     (recorded, so experiments can verify it stays zero).
+
+    ``failed_groups`` enforces physical reality under fault injection:
+    servers in failed groups cannot run whatever the plan said, so their
+    levels are forced off and their load joins the redistribution (placed
+    on healthy headroom pro rata, dropped past capacity).  ``None`` keeps
+    the historical path untouched.
     """
     fleet = model.fleet
+    if failed_groups:
+        mask = np.isin(np.arange(fleet.num_groups), sorted(failed_groups))
+        action = FleetAction(
+            levels=np.where(mask, -1, action.levels).astype(np.int64),
+            per_server_load=np.where(mask, 0.0, action.per_server_load),
+        )
     on = action.levels >= 0
     if actual_arrival <= 0.0:
         return FleetAction(action.levels, np.zeros(fleet.num_groups)), 0.0
@@ -79,12 +95,63 @@ def realize_action(
     return FleetAction(action.levels, clipped), dropped
 
 
+def _decide_degraded(
+    model: DataCenterModel,
+    controller: Controller,
+    obs,
+    policy,
+    injector,
+    last_action: FleetAction | None,
+    tele: Telemetry,
+):
+    """One slot's decide under a degradation policy.
+
+    Retries ``controller.decide`` on :class:`BusTimeoutError` (a lost
+    protocol round is transient: the next attempt sees fresh message-fault
+    draws) up to ``policy.retries`` extra times; :class:`InfeasibleError`
+    is deterministic and goes straight to fallback.  When the budget is
+    exhausted the policy's fallback action is committed and the controller
+    is told via ``on_fallback`` so its bookkeeping stays aligned.
+    """
+    reason = None
+    for attempt in range(policy.retries + 1):
+        try:
+            return controller.decide(obs), None
+        except BusTimeoutError as err:
+            reason = "bus_timeout"
+            if attempt < policy.retries:
+                policy.record(reason, fallback=False)
+                if tele.enabled:
+                    tele.emit(
+                        "fault.solve_retry", t=obs.t, attempt=attempt + 1, error=str(err)
+                    )
+        except InfeasibleError:
+            reason = "infeasible"
+            break
+    failed = frozenset(injector.failed_groups)
+    solution = policy.fallback(model, obs, last_action, failed)
+    policy.record(reason, fallback=True)
+    if tele.enabled:
+        tele.emit(
+            "fault.fallback",
+            t=obs.t,
+            reason=reason,
+            mode=solution.info.get("fallback"),
+            failed_groups=sorted(failed),
+        )
+        tele.metrics.counter("fault.fallbacks").inc()
+    controller.on_fallback(obs, solution)
+    return solution, reason
+
+
 def simulate(
     model: DataCenterModel,
     controller: Controller,
     environment: Environment,
     *,
     telemetry: Telemetry | None = None,
+    faults=None,
+    degradation=None,
 ) -> SimulationRecord:
     """Run ``controller`` over the full budgeting period.
 
@@ -98,12 +165,35 @@ def simulate(
     bound onto the controller (which propagates it to its P3 solver), so one
     argument instruments the whole stack.  The default is a no-op and leaves
     results bit-identical.
+
+    ``faults`` opts into chaos: a :class:`~repro.faults.FaultSchedule` (or a
+    pre-built :class:`~repro.faults.FaultInjector`) whose timed events and
+    message faults are injected as the run progresses, with ``degradation``
+    (a :class:`~repro.faults.DegradationPolicy`, default constructed when
+    omitted) governing what runs when a slot solve cannot complete.  An
+    empty schedule — and the default ``faults=None`` — leaves every result
+    bit-identical to the uninstrumented run.
     """
     J = environment.horizon
     tele = coerce(telemetry)
     bind = getattr(controller, "bind_telemetry", None)
     if bind is not None:
         bind(tele)
+
+    injector = None
+    policy = None
+    if faults is not None:
+        from ..faults import DegradationPolicy, FaultInjector, FaultSchedule
+
+        if isinstance(faults, FaultSchedule):
+            injector = FaultInjector(faults, num_groups=model.fleet.num_groups)
+        else:
+            injector = faults
+            if injector.num_groups is None:
+                injector.num_groups = model.fleet.num_groups
+        injector.bind_telemetry(tele)
+        injector.install(controller)
+        policy = degradation if degradation is not None else DegradationPolicy()
     if tele.enabled:
         # Run-level context: monitors calibrate their bounds (capacity,
         # worst-case facility draw) from this event instead of guessing.
@@ -135,15 +225,31 @@ def simulate(
         )
     }
     prev_on: np.ndarray | None = None
+    last_realized: FleetAction | None = None
 
     for t in range(J):
         obs = environment.observation(t)
+        if injector is not None:
+            injector.begin_slot(t)
+            obs = injector.degrade_observation(obs)
+            controller.set_failed_groups(frozenset(injector.failed_groups))
         with tele.timer("sim.solve_time_s") as solve_timer:
-            solution = controller.decide(obs)
+            if injector is None:
+                solution = controller.decide(obs)
+            else:
+                solution, _ = _decide_degraded(
+                    model, controller, obs, policy, injector, last_realized, tele
+                )
         actual = environment.actual_arrival(t)
         realized, dropped = realize_action(
-            model, solution.action, actual, obs.arrival_rate
+            model,
+            solution.action,
+            actual,
+            obs.arrival_rate,
+            failed_groups=None if injector is None else injector.failed_groups,
         )
+        if injector is not None:
+            last_realized = realized
         realized_problem = model.slot_problem(
             arrival_rate=actual,
             onsite=obs.onsite,
@@ -207,6 +313,12 @@ def simulate(
         cols["dropped"].append(dropped)
         cols["active_servers"].append(realized.active_servers(model.fleet))
 
+    if injector is not None and tele.enabled:
+        tele.emit(
+            "fault.summary",
+            **injector.summary(),
+            degradation=policy.stats(),
+        )
     if tele.enabled:
         tele.emit(
             "run.end",

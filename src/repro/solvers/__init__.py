@@ -3,16 +3,19 @@
 from .base import SlotSolution, SlotSolver
 from .brute_force import BruteForceSolver
 from .convex import CoordinateDescentSolver, initial_levels
+from .degraded import solve_with_failed_groups
 from .enumeration import HomogeneousEnumerationSolver
 from .fastpath import EvaluationCache, FastPathStats
 from .gsd import GSDSolver, GSDTrace, geometric_temperature
 from .load_distribution import LoadDistribution, distribute_load, solve_fixed_levels
 from .messaging import (
+    BusTimeoutError,
     DistributedGSD,
     DualLoadCoordinator,
     Message,
     MessageBus,
     ServerAgent,
+    exchange,
 )
 from .problem import InfeasibleError, SlotEvaluation, SlotProblem
 
@@ -39,4 +42,7 @@ __all__ = [
     "MessageBus",
     "Message",
     "ServerAgent",
+    "BusTimeoutError",
+    "exchange",
+    "solve_with_failed_groups",
 ]

@@ -1,0 +1,74 @@
+"""Solving P3 when part of the fleet is down.
+
+The paper's section 4.2 remark — server failures just shrink the feasible
+set — has a direct computational reading: solve the slot problem on the
+*surviving* sub-fleet and re-expand the answer.  This works with **any**
+:class:`~repro.solvers.base.SlotSolver` (enumeration, coordinate descent,
+GSD, the distributed protocol) because the sub-problem is an ordinary
+:class:`~repro.solvers.problem.SlotProblem` over a smaller
+:class:`~repro.cluster.fleet.Fleet`; the failed groups come back as level
+``-1`` (off) with zero load in the expanded action.
+
+:class:`~repro.solvers.gsd.GSDSolver` also accepts a native static
+``failed_groups`` argument; this module is the solver-agnostic path used by
+the fault-injection layer, where the failed set changes slot to slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+import numpy as np
+
+from ..cluster.fleet import Fleet, FleetAction
+from .base import SlotSolution, SlotSolver
+from .problem import InfeasibleError, SlotProblem
+
+__all__ = ["solve_with_failed_groups"]
+
+
+def solve_with_failed_groups(
+    solver: SlotSolver,
+    problem: SlotProblem,
+    failed: Iterable[int],
+) -> SlotSolution:
+    """Solve ``problem`` with the given groups forced off.
+
+    Builds the sub-fleet of healthy groups, solves the restricted problem
+    with ``solver``, and expands the solution back to full-fleet shape
+    (failed groups at level ``-1``, zero load).  Raises
+    :class:`InfeasibleError` when every group is down or the survivors
+    cannot serve the workload within the utilization cap.
+    """
+    fleet = problem.fleet
+    failed_set = {int(g) for g in failed}
+    for g in failed_set:
+        if not 0 <= g < fleet.num_groups:
+            raise ValueError(f"failed group index {g} out of range")
+    if not failed_set:
+        return solver.solve(problem)
+
+    healthy = [g for g in range(fleet.num_groups) if g not in failed_set]
+    if not healthy:
+        raise InfeasibleError("every server group has failed")
+
+    sub_fleet = Fleet([fleet.groups[g] for g in healthy])
+    prev = problem.prev_on_counts
+    sub_prev = None if prev is None else np.asarray(prev)[healthy]
+    sub_problem = replace(problem, fleet=sub_fleet, prev_on_counts=sub_prev)
+    sub_problem.check_feasible()  # clear error before the engine runs
+    sub_solution = solver.solve(sub_problem)
+
+    levels = np.full(fleet.num_groups, -1, dtype=np.int64)
+    loads = np.zeros(fleet.num_groups)
+    levels[healthy] = sub_solution.action.levels
+    loads[healthy] = sub_solution.action.per_server_load
+    action = FleetAction(levels=levels, per_server_load=loads)
+    info = dict(sub_solution.info)
+    info["failed_groups"] = sorted(failed_set)
+    return SlotSolution(
+        action=action,
+        evaluation=problem.evaluate(action),
+        info=info,
+    )

@@ -26,13 +26,20 @@ module makes the distributed protocol itself concrete:
 Tests verify the protocol reproduces the centralized water-filling solution
 to numerical tolerance, and the message counters document the communication
 complexity (O(G) messages per bisection round).
+
+The protocol tolerates an unreliable fabric (see
+:mod:`repro.faults.bus`): every side-effect handler acknowledges, the
+coordinator retries unanswered queries per agent (:func:`exchange`), and a
+query still unanswered after the retry budget raises
+:class:`BusTimeoutError` -- callers treat a lost round as a failed
+exploration and the simulation layer falls back gracefully.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -40,11 +47,52 @@ from ..cluster.fleet import Fleet, FleetAction
 from .base import SlotSolution, SlotSolver
 from .problem import InfeasibleError, SlotProblem
 
-__all__ = ["Message", "MessageBus", "ServerAgent", "DualLoadCoordinator", "DistributedGSD"]
+__all__ = [
+    "Message",
+    "MessageBus",
+    "ServerAgent",
+    "DualLoadCoordinator",
+    "DistributedGSD",
+    "BusTimeoutError",
+    "exchange",
+]
 
 #: Bisection rounds used by the coordinator (matches the centralized solver).
 _NU_ROUNDS = 100
 _MU_ROUNDS = 60
+
+
+class BusTimeoutError(RuntimeError):
+    """A protocol round could not complete: some agent's reply was never
+    received within the retry budget (lost request, or a reply that missed
+    the timeout window)."""
+
+
+def exchange(
+    bus: "MessageBus",
+    sender: str,
+    recipient: str,
+    kind: str,
+    payload: dict[str, Any],
+    *,
+    retries: int = 0,
+) -> Message:
+    """Send and wait for the reply, retrying on a silent bus.
+
+    Every protocol message is acknowledged by its handler, so a ``None``
+    return from :meth:`MessageBus.send` means the fabric ate the request or
+    the reply; the message is re-sent up to ``retries`` extra times before
+    :class:`BusTimeoutError` is raised.  On a reliable bus with
+    ``retries=0`` this is exactly one ``send``.
+    """
+    attempts = retries + 1
+    for _ in range(attempts):
+        reply = bus.send(Message(sender, recipient, kind, payload))
+        if reply is not None:
+            return reply
+    raise BusTimeoutError(
+        f"no reply from {recipient!r} to {kind!r} after {attempts} attempt(s)"
+    )
 
 
 @dataclass(frozen=True)
@@ -133,18 +181,21 @@ class ServerAgent:
         return Message(self.name, msg.sender, kind, payload)
 
     # -- protocol handlers ---------------------------------------------
-    def _on_configure(self, msg: Message) -> None:
+    # Side-effect handlers acknowledge so a sender on an unreliable bus can
+    # distinguish "delivered" from "lost" and retry; every handler is
+    # overwrite-idempotent, so duplicated deliveries are harmless.
+    def _on_configure(self, msg: Message) -> Message:
         p = msg.payload
         self._gamma = p["gamma"]
         self._delay_weight = p["delay_weight"]  # V * beta * kappa
         self._pue = p["pue"]
         self._delay_model = p["delay_model"]
-        return None
+        return self._reply(msg, "ack")
 
-    def _on_set_level(self, msg: Message) -> None:
+    def _on_set_level(self, msg: Message) -> Message:
         self.level = int(msg.payload["level"])
         self.explored_level = self.level
-        return None
+        return self._reply(msg, "ack")
 
     def _on_explore(self, msg: Message) -> Message:
         """The update token (Algorithm 2 line 7): draw a random speed."""
@@ -152,13 +203,13 @@ class ServerAgent:
         self.explored_level = int(rng.integers(-1, self.num_levels))
         return self._reply(msg, "explored", level=self.explored_level)
 
-    def _on_decide(self, msg: Message) -> None:
+    def _on_decide(self, msg: Message) -> Message:
         """Accept/revert broadcast (Algorithm 2 line 5)."""
         if msg.payload["accept"]:
             self.level = self.explored_level
         else:
             self.explored_level = self.level
-        return None
+        return self._reply(msg, "ack")
 
     def _price_response(self, nu: float, we: float, level: int) -> tuple[float, float]:
         """Local best-response load (aggregate req/s) and dynamic IT power
@@ -191,12 +242,12 @@ class ServerAgent:
         static = self.count * self.static_power if self._active_level(msg) >= 0 else 0.0
         return self._reply(msg, "response", served=served, power=dyn_power + static)
 
-    def _on_commit(self, msg: Message) -> None:
+    def _on_commit(self, msg: Message) -> Message:
         served, _ = self._price_response(
             msg.payload["nu"], msg.payload["we"], self._active_level(msg)
         )
         self.load = served / self.count
-        return None
+        return self._reply(msg, "ack")
 
     def _active_level(self, msg: Message) -> int:
         return self.explored_level if msg.payload.get("explored", False) else self.level
@@ -208,17 +259,43 @@ class DualLoadCoordinator:
     The coordinator knows the slot's aggregate quantities (total workload,
     renewable supply, price, deficit weight) but not any server's power
     curve; all per-group information arrives through price responses.
+
+    ``retries`` is the per-message retry budget on an unreliable bus: a
+    query unanswered after ``retries + 1`` attempts raises
+    :class:`BusTimeoutError` (``retries_used`` counts the re-sends).  On a
+    reliable bus the retry path is never taken and the message pattern is
+    byte-for-byte the historical one.
     """
 
-    def __init__(self, bus: MessageBus, name: str = "coordinator"):
+    def __init__(self, bus: MessageBus, name: str = "coordinator", *, retries: int = 0):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.bus = bus
         self.name = name
+        self.retries = retries
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
+    def _exchange(self, recipient: str, kind: str, payload: dict[str, Any]) -> Message:
+        for attempt in range(self.retries + 1):
+            reply = self.bus.send(Message(self.name, recipient, kind, payload))
+            if reply is not None:
+                if attempt:
+                    self.retries_used += attempt
+                return reply
+        self.retries_used += self.retries
+        raise BusTimeoutError(
+            f"no reply from {recipient!r} to {kind!r} after {self.retries + 1} attempt(s)"
+        )
+
+    def _bcast(self, kind: str, payload: dict[str, Any]) -> None:
+        """Deliver to every agent, retrying each until acknowledged."""
+        for name in self.bus.agent_names:
+            self._exchange(name, kind, payload)
+
     def configure(self, problem: SlotProblem) -> None:
         """Broadcast the slot's shared parameters."""
-        self.bus.broadcast(
-            self.name,
+        self._bcast(
             "configure",
             {
                 "gamma": problem.gamma,
@@ -229,11 +306,13 @@ class DualLoadCoordinator:
         )
 
     def _round(self, nu: float, we: float, explored: bool) -> tuple[float, float]:
-        replies = self.bus.broadcast(
-            self.name, "price", {"nu": nu, "we": we, "explored": explored}
-        )
-        served = sum(r.payload["served"] for r in replies)
-        power = sum(r.payload["power"] for r in replies)
+        payload = {"nu": nu, "we": we, "explored": explored}
+        served = 0.0
+        power = 0.0
+        for name in self.bus.agent_names:
+            reply = self._exchange(name, "price", payload)
+            served += reply.payload["served"]
+            power += reply.payload["power"]
         return served, power
 
     def _bisect_nu(
@@ -261,18 +340,18 @@ class DualLoadCoordinator:
         lam = problem.arrival_rate
         pue = problem.pue
         if lam <= 0.0:
-            self.bus.broadcast(self.name, "commit", {"nu": 0.0, "we": 0.0, "explored": explored})
+            self._bcast("commit", {"nu": 0.0, "we": 0.0, "explored": explored})
             return 0.0
 
         we_full = problem.electricity_weight
         nu, power = self._bisect_nu(lam, we_full, explored)
         if pue * power >= problem.onsite * (1.0 - 1e-12):
-            self.bus.broadcast(self.name, "commit", {"nu": nu, "we": we_full, "explored": explored})
+            self._bcast("commit", {"nu": nu, "we": we_full, "explored": explored})
             return nu
 
         nu_free, power_free = self._bisect_nu(lam, 0.0, explored)
         if pue * power_free <= problem.onsite * (1.0 + 1e-12):
-            self.bus.broadcast(self.name, "commit", {"nu": nu_free, "we": 0.0, "explored": explored})
+            self._bcast("commit", {"nu": nu_free, "we": 0.0, "explored": explored})
             return nu_free
 
         lo_mu, hi_mu = 0.0, we_full
@@ -283,7 +362,7 @@ class DualLoadCoordinator:
                 lo_mu = mu
             else:
                 hi_mu = mu
-        self.bus.broadcast(self.name, "commit", {"nu": nu, "we": 0.5 * (lo_mu + hi_mu), "explored": explored})
+        self._bcast("commit", {"nu": nu, "we": 0.5 * (lo_mu + hi_mu), "explored": explored})
         return nu
 
 
@@ -293,6 +372,15 @@ class DistributedGSD(SlotSolver):
     Functionally equivalent to :class:`~repro.solvers.gsd.GSDSolver` but
     every quantity crosses the bus; use it to demonstrate and measure the
     distributed protocol, not for year-long sweeps.
+
+    ``bus_factory`` lets a fault injector substitute an unreliable fabric
+    (e.g. :class:`repro.faults.bus.FaultyMessageBus`) per solve; ``retries``
+    is the per-message retry budget handed to the coordinator and used for
+    the driver's own explore/decide/set_level traffic.  A lost pricing round
+    inside an exploration just marks that exploration infeasible (the Gibbs
+    chain moves on); a decide/commit that stays silent past the budget
+    escapes as :class:`BusTimeoutError` so the simulation layer can fall
+    back to a degraded action.
     """
 
     def __init__(
@@ -301,20 +389,26 @@ class DistributedGSD(SlotSolver):
         iterations: int = 200,
         delta: float = 1e6,
         rng: np.random.Generator | None = None,
+        bus_factory: Callable[[], MessageBus] | None = None,
+        retries: int = 0,
     ):
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
         if delta <= 0:
             raise ValueError("delta must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.iterations = iterations
         self.delta = delta
         self.rng = rng if rng is not None else np.random.default_rng(2)
+        self.bus_factory = bus_factory
+        self.retries = retries
         self.last_bus: MessageBus | None = None
 
     def _objective(self, problem: SlotProblem, agents: list[ServerAgent], coord: DualLoadCoordinator, explored: bool) -> float:
         try:
             coord.solve(problem, explored=explored)
-        except InfeasibleError:
+        except (InfeasibleError, BusTimeoutError):
             return np.inf
         action = self._action(agents, explored)
         evaluation = problem.evaluate(action)
@@ -333,14 +427,21 @@ class DistributedGSD(SlotSolver):
         )
         return FleetAction(levels=levels, per_server_load=loads)
 
+    def _decide_all(self, bus: MessageBus, agents: list[ServerAgent], accept: bool) -> None:
+        """Accept/revert must reach *every* agent or their level state
+        diverges from the driver's; an unreachable agent is fatal for this
+        solve and escapes as :class:`BusTimeoutError`."""
+        for a in agents:
+            exchange(bus, "driver", a.name, "decide", {"accept": accept}, retries=self.retries)
+
     def solve(self, problem: SlotProblem) -> SlotSolution:
         problem.check_feasible()
         fleet = problem.fleet
-        bus = MessageBus()
+        bus = self.bus_factory() if self.bus_factory is not None else MessageBus()
         agents = [ServerAgent(f"group-{g}", fleet, g) for g in range(fleet.num_groups)]
         for a in agents:
             bus.register(a)
-        coord = DualLoadCoordinator(bus)
+        coord = DualLoadCoordinator(bus, retries=self.retries)
         coord.configure(problem)
         self.last_bus = bus
 
@@ -350,11 +451,12 @@ class DistributedGSD(SlotSolver):
 
         for _ in range(self.iterations):
             g = int(self.rng.integers(0, fleet.num_groups))
-            reply = bus.send(
-                Message("driver", agents[g].name, "explore", {"rng": self.rng})
+            reply = exchange(
+                bus, "driver", agents[g].name, "explore", {"rng": self.rng},
+                retries=self.retries,
             )
             if reply.payload["level"] == agents[g].level:
-                bus.broadcast("driver", "decide", {"accept": False})
+                self._decide_all(bus, agents, accept=False)
                 continue
             explored_obj = self._objective(problem, agents, coord, explored=True)
             if np.isfinite(explored_obj):
@@ -364,23 +466,44 @@ class DistributedGSD(SlotSolver):
                 accept = self.rng.random() < 1.0 / (1.0 + np.exp(-exponent))
             else:
                 accept = False
-            bus.broadcast("driver", "decide", {"accept": bool(accept)})
+            self._decide_all(bus, agents, accept=bool(accept))
             if accept:
                 current = explored_obj
                 if explored_obj < best:
                     best = explored_obj
                     best_levels = np.array([a.level for a in agents], dtype=np.int64)
 
-        # Final commit of the best configuration found.
+        # Final commit of the best configuration found.  Unlike a failed
+        # exploration this must land: propagate BusTimeoutError to the
+        # caller's degradation policy if the fabric stays silent.  The
+        # pricing protocol spans hundreds of messages, so one lost round is
+        # likely over a long lossy solve -- re-running the whole (idempotent)
+        # commit a few times keeps a transient loss from dooming the solve,
+        # while a persistent outage still escapes.
         for a, lvl in zip(agents, best_levels):
-            bus.send(Message("driver", a.name, "set_level", {"level": int(lvl)}))
-        coord.solve(problem, explored=False)
+            exchange(
+                bus, "driver", a.name, "set_level", {"level": int(lvl)},
+                retries=self.retries,
+            )
+        commit_attempts = 1 if self.retries == 0 else 3
+        for attempt in range(commit_attempts):
+            try:
+                coord.solve(problem, explored=False)
+                break
+            except BusTimeoutError:
+                if attempt == commit_attempts - 1:
+                    raise
         action = self._action(agents, explored=False)
+        info: dict[str, Any] = {
+            "messages": bus.delivered,
+            "messages_by_kind": dict(bus.by_kind),
+            "retries_used": coord.retries_used,
+        }
+        fault_stats = getattr(bus, "fault_stats", None)
+        if fault_stats is not None:
+            info["bus_faults"] = fault_stats()
         return SlotSolution(
             action=action,
             evaluation=problem.evaluate(action),
-            info={
-                "messages": bus.delivered,
-                "messages_by_kind": dict(bus.by_kind),
-            },
+            info=info,
         )

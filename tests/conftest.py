@@ -15,6 +15,22 @@ from repro.core import DataCenterModel
 from repro.scenarios import small_scenario
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-run regression files from the current code "
+        "(see docs/TESTING.md) instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should refresh committed goldens."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""

@@ -1,10 +1,21 @@
-"""Tests for GSD under server failures (section 4.2's failure remark)."""
+"""Tests for GSD under server failures (section 4.2's failure remark).
+
+The first half covers the *static* failure mask on a single solve; the
+``TestDynamicFailures`` half drives whole simulations through
+``FaultSchedule`` so groups fail and recover mid-horizon (including
+fail → repair → fail cycles and concurrent outages), asserting the served
+load and the Theorem 2 carbon accounting across the transitions.
+"""
 
 import numpy as np
 import pytest
 
 from repro.cluster import Fleet, ServerGroup, opteron_2380
 from repro.core import DataCenterModel
+from repro.core.coca import COCA
+from repro.faults import FaultEvent, FaultSchedule
+from repro.scenarios import small_scenario
+from repro.sim import simulate
 from repro.solvers import BruteForceSolver, GSDSolver, InfeasibleError
 from tests.conftest import make_problem
 
@@ -65,3 +76,117 @@ class TestGSDWithFailures:
             # The remaining single group cannot carry 90% of total capacity;
             # every configuration the chain can reach is infeasible.
             sol.solve(p)
+
+
+@pytest.fixture(scope="module")
+def outage_scenario():
+    """A seeded day on the small fleet for dynamic-failure runs."""
+    return small_scenario(horizon=24, seed=11)
+
+
+def _run_with_faults(scenario, schedule, *, v=150.0):
+    controller = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=v,
+        alpha=scenario.alpha,
+    )
+    record = simulate(
+        scenario.model, controller, scenario.environment, faults=schedule
+    )
+    return record, controller
+
+
+def _assert_carbon_accounting(record, controller, scenario):
+    """Replay Eq. (17) from the recorded arrays: the queue the controller
+    saw at each decision must equal the recursion over realized brown and
+    off-site supply (``record.queue`` holds q *before* the slot's update)."""
+    alpha = scenario.alpha
+    z = controller.queue.rec_per_slot
+    q = 0.0
+    for t in range(record.horizon):
+        assert record.queue[t] == pytest.approx(q, abs=1e-9), f"slot {t}"
+        q = max(q + record.brown_energy[t] - alpha * record.offsite[t] - z, 0.0)
+    assert controller.queue.length == pytest.approx(q, abs=1e-9)
+
+
+class TestDynamicFailures:
+    def test_fail_repair_fail_cycle(self, outage_scenario):
+        """One group failing, recovering, then failing again mid-horizon."""
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(t=3, kind="group_fail", group=1),
+                FaultEvent(t=8, kind="group_repair", group=1),
+                FaultEvent(t=14, kind="group_fail", group=1),
+                FaultEvent(t=19, kind="group_repair", group=1),
+            )
+        )
+        record, controller = _run_with_faults(outage_scenario, schedule)
+        assert record.horizon == outage_scenario.horizon
+        # Load stays conserved through every transition...
+        np.testing.assert_allclose(
+            record.served + record.dropped, record.arrival_actual, rtol=1e-9
+        )
+        # ...one group down leaves ample capacity, so nothing is dropped...
+        assert record.dropped.sum() == 0.0
+        # ...and the deficit queue still follows the Theorem 2 recursion.
+        _assert_carbon_accounting(record, controller, outage_scenario)
+
+    def test_concurrent_failures(self, outage_scenario):
+        """Several groups down at once, recovering at different times."""
+        schedule = FaultSchedule(
+            events=(
+                FaultEvent(t=4, kind="group_fail", group=0),
+                FaultEvent(t=4, kind="group_fail", group=2),
+                FaultEvent(t=6, kind="group_fail", group=5),
+                FaultEvent(t=10, kind="group_repair", group=2),
+                FaultEvent(t=12, kind="group_repair", group=0),
+                FaultEvent(t=16, kind="group_repair", group=5),
+            )
+        )
+        record, controller = _run_with_faults(outage_scenario, schedule)
+        np.testing.assert_allclose(
+            record.served + record.dropped, record.arrival_actual, rtol=1e-9
+        )
+        _assert_carbon_accounting(record, controller, outage_scenario)
+
+    def test_outage_reduces_active_servers(self, outage_scenario):
+        """During the outage window the realized fleet must actually be
+        smaller -- the failure cannot be decision-side only."""
+        G = outage_scenario.model.fleet.num_groups
+        schedule = FaultSchedule(
+            events=tuple(
+                FaultEvent(t=6, kind="group_fail", group=g)
+                for g in range(G // 2)
+            )
+            + tuple(
+                FaultEvent(t=18, kind="group_repair", group=g)
+                for g in range(G // 2)
+            )
+        )
+        record, _ = _run_with_faults(outage_scenario, schedule)
+        baseline, _ = _run_with_faults(outage_scenario, FaultSchedule.empty())
+        in_window = slice(6, 18)
+        servers_per_group = outage_scenario.model.fleet.counts.max()
+        healthy_cap = (G - G // 2) * servers_per_group
+        assert record.active_servers[in_window].max() <= healthy_cap
+        # Outside the window behavior converges back to the healthy run.
+        assert record.active_servers[0] == baseline.active_servers[0]
+
+    def test_unserveable_load_is_dropped_not_lost(self, outage_scenario):
+        """Fail all but one group: the survivor serves what it can, the
+        rest shows up as dropped -- never silently vanishing."""
+        G = outage_scenario.model.fleet.num_groups
+        schedule = FaultSchedule(
+            events=tuple(
+                FaultEvent(t=2, kind="group_fail", group=g)
+                for g in range(G - 1)
+            )
+        )
+        record, controller = _run_with_faults(outage_scenario, schedule)
+        np.testing.assert_allclose(
+            record.served + record.dropped, record.arrival_actual, rtol=1e-9
+        )
+        assert record.dropped.sum() > 0
+        assert record.served[3:].min() > 0  # the survivor keeps serving
+        _assert_carbon_accounting(record, controller, outage_scenario)

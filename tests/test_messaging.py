@@ -3,14 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.faults import FaultyMessageBus
 from repro.solvers import (
     BruteForceSolver,
+    BusTimeoutError,
     DistributedGSD,
     DualLoadCoordinator,
     Message,
     MessageBus,
     ServerAgent,
     distribute_load,
+    exchange,
 )
 from repro.solvers.messaging import DistributedGSD as _DG
 from tests.conftest import make_problem
@@ -91,6 +94,86 @@ class TestDualCoordinatorProtocol:
         coord.solve(p)
         # configure + price rounds + commit: all O(G) per round.
         assert bus.by_kind["price"] % tiny_model.fleet.num_groups == 0
+
+
+def build_faulty_bus(fleet, *, seed=0, **kw):
+    bus = FaultyMessageBus(rng=np.random.default_rng(seed), **kw)
+    agents = [ServerAgent(f"group-{g}", fleet, g) for g in range(fleet.num_groups)]
+    for a in agents:
+        bus.register(a)
+    return bus, agents
+
+
+class TestLossyCoordinator:
+    def test_exchange_retries_until_delivered(self, tiny_fleet):
+        bus, agents = build_faulty_bus(tiny_fleet, seed=4, loss=0.5)
+        reply = exchange(
+            bus, "driver", "group-0", "set_level", {"level": 2}, retries=20
+        )
+        assert reply is not None
+        assert agents[0].level == 2
+
+    def test_exchange_exhaustion_raises(self, tiny_fleet):
+        bus, _ = build_faulty_bus(tiny_fleet, seed=4, loss=0.95)
+        with pytest.raises(BusTimeoutError, match="set_level"):
+            exchange(bus, "driver", "group-0", "set_level", {"level": 2}, retries=1)
+
+    def test_retries_matches_reliable_solution(self, tiny_model):
+        """The coordinator on a lossy bus (with retries) must land on the
+        same loads as on a reliable bus."""
+        p = make_problem(tiny_model, lam_frac=0.5, q=10.0)
+
+        bus_ok, agents_ok = build_bus(tiny_model.fleet)
+        coord = DualLoadCoordinator(bus_ok)
+        coord.configure(p)
+        coord.solve(p)
+
+        bus_bad, agents_bad = build_faulty_bus(
+            tiny_model.fleet, seed=17, loss=0.10, delay=0.03, duplicate=0.02
+        )
+        lossy = DualLoadCoordinator(bus_bad, retries=8)
+        lossy.configure(p)
+        lossy.solve(p)
+
+        np.testing.assert_allclose(
+            [a.load for a in agents_bad],
+            [a.load for a in agents_ok],
+            rtol=1e-6,
+            atol=1e-9,
+        )
+        assert lossy.retries_used > 0  # the faults actually bit
+
+    def test_ack_replies_keep_reliable_counts(self, tiny_model):
+        """Retry plumbing must be free on a healthy bus: same deliveries,
+        same per-kind counts, zero retries consumed."""
+        p = make_problem(tiny_model, lam_frac=0.4)
+        counts = []
+        for retries in (0, 5):
+            bus, _ = build_bus(tiny_model.fleet)
+            coord = DualLoadCoordinator(bus, retries=retries)
+            coord.configure(p)
+            coord.solve(p)
+            counts.append((bus.delivered, dict(bus.by_kind), coord.retries_used))
+        assert counts[0][:2] == counts[1][:2]
+        assert counts[1][2] == 0
+
+    def test_distributed_gsd_near_oracle_under_loss(self, tiny_model):
+        p = make_problem(tiny_model, lam_frac=0.5, q=5.0)
+        bf = BruteForceSolver().solve(p)
+        solver = DistributedGSD(
+            iterations=150,
+            delta=1e4,
+            rng=np.random.default_rng(7),
+            bus_factory=lambda: FaultyMessageBus(
+                loss=0.10, delay=0.03, duplicate=0.02,
+                rng=np.random.default_rng(23),
+            ),
+            retries=5,
+        )
+        sol = solver.solve(p)
+        assert sol.objective <= bf.objective * 1.20 + 1e-12
+        assert sol.info["bus_faults"]["dropped"] > 0
+        assert sol.info["retries_used"] > 0
 
 
 class TestDistributedGSD:
