@@ -15,6 +15,8 @@ traces         summarize any of the synthetic trace generators
 telemetry      summarize a JSONL event trace written by ``--trace-out``
 dashboard      offline HTML health report (monitors + charts) from a trace
 chaos          COCA under seeded fault injection (failures, lossy messaging)
+run            checkpointed long-horizon run (crash-safe, resumable)
+resume         continue a killed ``run`` from its newest valid checkpoint
 =============  ==========================================================
 
 Scenario commands accept ``--scale {small,paper}`` (a 400-server fortnight
@@ -23,6 +25,12 @@ slots, and ``--workload {fiu,msr}``.  Every subcommand additionally takes
 the global observability flags ``--trace-out FILE`` (stream a JSONL event
 trace of the run) and ``--metrics-out FILE`` (write a metrics snapshot:
 ``.md`` renders markdown, anything else CSV); see ``docs/OBSERVABILITY.md``.
+
+Failures exit with a *distinct* nonzero code so CI and scripts can tell
+them apart: :data:`EXIT_BAD_INPUT` (1) for unreadable/invalid inputs,
+:data:`EXIT_MONITOR_CRITICAL` (2) for ``--strict`` invariant-monitor
+failures, :data:`EXIT_REPLAY_MISMATCH` (3) when ``--verify-replay`` finds
+a bit-level divergence.
 """
 
 from __future__ import annotations
@@ -34,7 +42,20 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_BAD_INPUT",
+    "EXIT_MONITOR_CRITICAL",
+    "EXIT_REPLAY_MISMATCH",
+]
+
+#: Unreadable or invalid input (missing trace, torn schedule, bad manifest).
+EXIT_BAD_INPUT = 1
+#: An invariant monitor failed under ``--strict`` (CI gating).
+EXIT_MONITOR_CRITICAL = 2
+#: ``--verify-replay`` found records that are not bit-identical.
+EXIT_REPLAY_MISMATCH = 3
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -261,7 +282,7 @@ def _cmd_telemetry(args) -> int:
 
     events = _load_trace_or_fail("telemetry", args.trace)
     if events is None:
-        return 1
+        return EXIT_BAD_INPUT
     print(render_trace_summary(events, title=args.trace))
     return 0
 
@@ -271,7 +292,7 @@ def _cmd_dashboard(args) -> int:
 
     events = _load_trace_or_fail("dashboard", args.trace)
     if events is None:
-        return 1
+        return EXIT_BAD_INPUT
     suite = replay(events, default_suite())
     write_dashboard(events, args.output, suite=suite, title=args.title or args.trace)
     reports = suite.reports()
@@ -289,16 +310,31 @@ def _cmd_dashboard(args) -> int:
                     f"repro dashboard: FAIL {report.monitor}: {report.detail}",
                     file=sys.stderr,
                 )
-        return 2
+        return EXIT_MONITOR_CRITICAL
     return 0
 
 
-def _chaos_schedule(args, horizon: int, num_groups: int):
-    """The run's fault schedule: loaded from ``--schedule`` or generated."""
+def _load_schedule_or_fail(command: str, path: str):
+    """Load a fault schedule for a CLI command; on failure print the reason
+    (no traceback) to stderr and return None."""
+    import json as _json
+
     from .faults import FaultSchedule
 
+    try:
+        return FaultSchedule.from_json(path)
+    except (OSError, ValueError, KeyError, TypeError, _json.JSONDecodeError) as exc:
+        print(f"repro {command}: cannot load fault schedule {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _chaos_schedule(args, horizon: int, num_groups: int):
+    """The run's fault schedule: loaded from ``--schedule`` or generated;
+    None when a requested schedule file cannot be read."""
     if args.schedule:
-        return FaultSchedule.from_json(args.schedule)
+        return _load_schedule_or_fail("chaos", args.schedule)
+    from .faults import FaultSchedule
+
     return FaultSchedule.generate(
         args.fault_seed,
         horizon=horizon,
@@ -368,6 +404,8 @@ def _cmd_chaos(args) -> int:
     schedule = _chaos_schedule(
         args, scenario.horizon, scenario.model.fleet.num_groups
     )
+    if schedule is None:
+        return EXIT_BAD_INPUT
     if args.schedule_out:
         schedule.to_json(path=args.schedule_out)
         print(f"fault schedule written to {args.schedule_out}")
@@ -448,13 +486,330 @@ def _cmd_chaos(args) -> int:
             print("replay: bit-identical across "
                   f"{len(_REPLAY_FIELDS)} record arrays")
     if not ok:
-        return 1
+        return EXIT_REPLAY_MISMATCH
     if args.strict and passing < len(reports):
-        return 2
+        return EXIT_MONITOR_CRITICAL
+    return 0
+
+
+# ------------------------------------------------------------ run / resume
+#: Manifest file a checkpointed run writes next to its checkpoints; resume
+#: rebuilds the identical scenario/controller/fault stack from it.
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "repro-run-manifest"
+
+
+def _scenario_from_manifest(sc: dict):
+    from .scenarios import paper_scenario, small_scenario
+
+    kwargs: dict = {
+        "workload": sc["workload"],
+        "budget_fraction": sc["budget_fraction"],
+    }
+    if sc.get("seed") is not None:
+        kwargs["seed"] = int(sc["seed"])
+    if sc.get("horizon") is not None:
+        kwargs["horizon"] = int(sc["horizon"])
+    builder = paper_scenario if sc["scale"] == "paper" else small_scenario
+    return builder(**kwargs)
+
+
+def _materialize_run(manifest: dict, scenario=None):
+    """Rebuild the full run stack a manifest describes.
+
+    Returns ``(scenario, controller, injector, policy)``; ``injector`` and
+    ``policy`` are None for fault-free runs.  Both ``repro run`` and
+    ``repro resume`` construct the stack through this one function, so a
+    resumed run is guaranteed to sit on the same deterministic foundation
+    as the run that wrote the checkpoint.
+    """
+    from .core.coca import COCA
+    from .faults import DegradationPolicy, FaultInjector, FaultSchedule
+    from .solvers import DistributedGSD, GSDSolver
+
+    if scenario is None:
+        scenario = _scenario_from_manifest(manifest["scenario"])
+    run = manifest["run"]
+    solver = None
+    if run["solver"] == "gsd":
+        solver = GSDSolver(
+            iterations=int(run["iterations"]),
+            rng=np.random.default_rng(int(run["solver_seed"])),
+        )
+    elif run["solver"] == "distributed":
+        solver = DistributedGSD(
+            iterations=int(run["iterations"]),
+            rng=np.random.default_rng(int(run["solver_seed"])),
+        )
+    controller = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=float(run["v"]),
+        alpha=scenario.alpha,
+        solver=solver,
+    )
+    injector = policy = None
+    if manifest.get("schedule") is not None:
+        schedule = FaultSchedule.from_dict(manifest["schedule"])
+        injector = FaultInjector(
+            schedule, num_groups=scenario.model.fleet.num_groups
+        )
+        policy = DegradationPolicy(
+            mode=run["fallback"], retries=int(run["retries"])
+        )
+    return scenario, controller, injector, policy
+
+
+def _print_run_summary(record) -> None:
+    print(
+        f"run: cost ${record.cost.sum():,.0f}, "
+        f"brown {record.brown_energy.sum():.4g} MWh, "
+        f"dropped {record.dropped.sum():.4g} req/s, "
+        f"final queue {record.queue[-1]:.4g} MWh"
+    )
+
+
+def _maybe_save_record(args, record) -> None:
+    if getattr(args, "record_out", None):
+        from .state import save_record
+
+        save_record(record, args.record_out)
+        print(f"record written to {args.record_out}")
+
+
+def _cmd_run(args) -> int:
+    import json
+    import os
+
+    from .sim import simulate
+    from .state import CheckpointWriter, atomic_write_text
+
+    scenario_cfg = {
+        "scale": args.scale,
+        "horizon": args.horizon,
+        "workload": args.workload,
+        "seed": args.seed,
+        "budget_fraction": args.budget_fraction,
+    }
+    scenario = _scenario_from_manifest(scenario_cfg)
+
+    schedule = None
+    if args.schedule or args.chaos:
+        if args.schedule:
+            schedule = _load_schedule_or_fail("run", args.schedule)
+            if schedule is None:
+                return EXIT_BAD_INPUT
+        else:
+            schedule = _chaos_schedule(
+                args, scenario.horizon, scenario.model.fleet.num_groups
+            )
+        if args.schedule_out:
+            schedule.to_json(path=args.schedule_out)
+            print(f"fault schedule written to {args.schedule_out}")
+    if (
+        args.solve_deadline_ms is not None
+        and args.solver == "distributed"
+    ):
+        print(
+            "note: --solve-deadline-ms applies to the local iterative "
+            "solvers (gsd/cd/enumeration); the distributed protocol "
+            "ignores it",
+            file=sys.stderr,
+        )
+
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "version": 1,
+        "scenario": scenario_cfg,
+        "run": {
+            "v": args.v,
+            "solver": args.solver,
+            "iterations": args.iterations,
+            "solver_seed": args.fault_seed,
+            "fallback": args.fallback,
+            "retries": args.retries,
+            "solve_deadline_ms": args.solve_deadline_ms,
+        },
+        "schedule": None if schedule is None else schedule.to_dict(),
+        "checkpoint": {"every": args.checkpoint_every, "keep": args.checkpoint_keep},
+    }
+    _, controller, injector, policy = _materialize_run(manifest, scenario=scenario)
+
+    writer = None
+    if args.checkpoint_dir:
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+        atomic_write_text(
+            os.path.join(args.checkpoint_dir, MANIFEST_NAME),
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        )
+        writer = CheckpointWriter(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            keep=args.checkpoint_keep,
+        )
+        print(
+            f"checkpointing every {args.checkpoint_every} slot(s) "
+            f"into {args.checkpoint_dir} (keep {args.checkpoint_keep})"
+        )
+
+    with _telemetry_scope(args) as telemetry:
+        record = simulate(
+            scenario.model,
+            controller,
+            scenario.environment,
+            telemetry=telemetry,
+            faults=injector,
+            degradation=policy,
+            checkpoint=writer,
+            solve_deadline_ms=args.solve_deadline_ms,
+            slot_sleep_s=args.slot_sleep_ms / 1000.0,
+        )
+    _print_run_summary(record)
+    _maybe_save_record(args, record)
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    import json
+    import os
+
+    from .sim import simulate
+    from .state import CheckpointError, CheckpointWriter, latest_valid_checkpoint
+
+    manifest_path = os.path.join(args.checkpoint_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(f"not a {_MANIFEST_FORMAT} file")
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro resume: cannot load {manifest_path}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+    deadline_ms = manifest["run"].get("solve_deadline_ms")
+    if args.verify_replay and deadline_ms is not None:
+        # Deadline expiry depends on wall-clock speed, so a deadline-bounded
+        # run is *expected* to diverge between machines; a bit-identity
+        # check against it would only produce noise.
+        print(
+            "repro resume: --verify-replay is incompatible with a run that "
+            "used --solve-deadline-ms (wall-clock deadlines intentionally "
+            "break bit-replay)",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+
+    with _telemetry_scope(args) as telemetry:
+        ckpt = latest_valid_checkpoint(args.checkpoint_dir, telemetry=telemetry)
+        if ckpt is None:
+            print(
+                f"repro resume: no valid checkpoint in {args.checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        scenario, controller, injector, policy = _materialize_run(manifest)
+        print(
+            f"resuming from {ckpt.path} "
+            f"(slot {ckpt.slot}/{scenario.horizon})"
+        )
+        writer = CheckpointWriter(
+            args.checkpoint_dir,
+            every=int(manifest["checkpoint"]["every"]),
+            keep=int(manifest["checkpoint"]["keep"]),
+        )
+        try:
+            record = simulate(
+                scenario.model,
+                controller,
+                scenario.environment,
+                telemetry=telemetry,
+                faults=injector,
+                degradation=policy,
+                checkpoint=writer,
+                resume_from=ckpt,
+                solve_deadline_ms=deadline_ms,
+            )
+        except CheckpointError as exc:
+            print(f"repro resume: {exc}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+    _print_run_summary(record)
+    _maybe_save_record(args, record)
+
+    if args.verify_replay:
+        from .state import record_mismatches
+
+        _, golden_ctrl, golden_inj, golden_pol = _materialize_run(
+            manifest, scenario=scenario
+        )
+        golden = simulate(
+            scenario.model,
+            golden_ctrl,
+            scenario.environment,
+            faults=golden_inj,
+            degradation=golden_pol,
+        )
+        mismatched = record_mismatches(record, golden)
+        if mismatched:
+            print(
+                f"repro resume: replay DIVERGED in {', '.join(mismatched)}",
+                file=sys.stderr,
+            )
+            return EXIT_REPLAY_MISMATCH
+        print("replay: resumed run is bit-identical to an uninterrupted run")
     return 0
 
 
 # ----------------------------------------------------------------- parser
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """The fault-schedule flags shared by ``chaos`` and ``run``."""
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed for the generated fault schedule (and message faults)",
+    )
+    parser.add_argument(
+        "--failure-rate", type=float, default=0.02,
+        help="per-slot, per-group failure probability",
+    )
+    parser.add_argument(
+        "--mean-repair", type=float, default=6.0,
+        help="mean slots a failed group stays down",
+    )
+    parser.add_argument(
+        "--signal-rate", type=float, default=0.0,
+        help="per-slot probability of a stale/missing observation fault",
+    )
+    parser.add_argument(
+        "--loss", type=float, default=0.0, help="message loss probability"
+    )
+    parser.add_argument(
+        "--delay", type=float, default=0.0, help="message delay probability"
+    )
+    parser.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="message duplication probability",
+    )
+    parser.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="replay a fault schedule from JSON instead of generating one",
+    )
+    parser.add_argument(
+        "--schedule-out", default=None, metavar="FILE",
+        help="write the schedule (generated or loaded) to JSON for replay",
+    )
+    parser.add_argument(
+        "--fallback",
+        choices=["last_action", "proportional"],
+        default="last_action",
+        help="degraded action when a slot solve fails",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="slot-solve retries before falling back",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -541,53 +896,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_args(p)
     _add_telemetry_args(p)
+    _add_fault_args(p)
     p.add_argument("--v", type=float, default=150.0, help="fixed V for the run")
-    p.add_argument(
-        "--fault-seed",
-        type=int,
-        default=7,
-        help="seed for the generated fault schedule (and message faults)",
-    )
-    p.add_argument(
-        "--failure-rate", type=float, default=0.02,
-        help="per-slot, per-group failure probability",
-    )
-    p.add_argument(
-        "--mean-repair", type=float, default=6.0,
-        help="mean slots a failed group stays down",
-    )
-    p.add_argument(
-        "--signal-rate", type=float, default=0.0,
-        help="per-slot probability of a stale/missing observation fault",
-    )
-    p.add_argument(
-        "--loss", type=float, default=0.0, help="message loss probability"
-    )
-    p.add_argument(
-        "--delay", type=float, default=0.0, help="message delay probability"
-    )
-    p.add_argument(
-        "--duplicate", type=float, default=0.0,
-        help="message duplication probability",
-    )
-    p.add_argument(
-        "--schedule", default=None, metavar="FILE",
-        help="replay a fault schedule from JSON instead of generating one",
-    )
-    p.add_argument(
-        "--schedule-out", default=None, metavar="FILE",
-        help="write the schedule (generated or loaded) to JSON for replay",
-    )
-    p.add_argument(
-        "--fallback",
-        choices=["last_action", "proportional"],
-        default="last_action",
-        help="degraded action when a slot solve fails",
-    )
-    p.add_argument(
-        "--retries", type=int, default=1,
-        help="slot-solve retries before falling back",
-    )
     p.add_argument(
         "--distributed",
         action="store_true",
@@ -600,7 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verify-replay",
         action="store_true",
-        help="run twice and require bit-identical records (exit 1 otherwise)",
+        help="run twice and require bit-identical records (exit 3 otherwise)",
     )
     p.add_argument(
         "--strict",
@@ -608,6 +918,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when any invariant monitor fails (CI gating)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "run",
+        help="checkpointed long-horizon run (crash-safe, resumable)",
+    )
+    _add_scenario_args(p)
+    _add_telemetry_args(p)
+    _add_fault_args(p)
+    p.add_argument("--v", type=float, default=150.0, help="fixed V for the run")
+    p.add_argument(
+        "--solver",
+        choices=["auto", "gsd", "distributed"],
+        default="auto",
+        help="P3 engine (auto = exact enumeration/coordinate descent)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=200,
+        help="iterations per solve for --solver gsd/distributed",
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject a generated fault schedule (see the fault flags)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe checkpoints (and the resume manifest) here",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence in slots",
+    )
+    p.add_argument(
+        "--checkpoint-keep", type=int, default=3, metavar="K",
+        help="checkpoints retained in the rotation",
+    )
+    p.add_argument(
+        "--solve-deadline-ms", type=float, default=None, metavar="MS",
+        help="wall-clock budget per slot solve (anytime cut on expiry)",
+    )
+    p.add_argument(
+        "--record-out", default=None, metavar="FILE",
+        help="save the final SimulationRecord (.npz) for golden diffs",
+    )
+    p.add_argument(
+        "--slot-sleep-ms", type=float, default=0.0, metavar="MS",
+        help="sleep after each slot (crash-harness aid; results unchanged)",
+    )
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue a killed run from its newest valid checkpoint",
+    )
+    _add_telemetry_args(p)
+    p.add_argument(
+        "checkpoint_dir", metavar="DIR",
+        help="checkpoint directory written by `repro run --checkpoint-dir`",
+    )
+    p.add_argument(
+        "--verify-replay",
+        action="store_true",
+        help="also run uninterrupted and require bit-identical records "
+             "(exit 3 otherwise)",
+    )
+    p.add_argument(
+        "--record-out", default=None, metavar="FILE",
+        help="save the final SimulationRecord (.npz) for golden diffs",
+    )
+    p.set_defaults(func=_cmd_resume)
 
     return parser
 

@@ -99,6 +99,23 @@ class BatchBacklog:
         self._history.append(self._backlog)
         return self._backlog
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Backlog, totals, and history for a checkpoint."""
+        return {
+            "backlog": float(self._backlog),
+            "history": [float(x) for x in self._history],
+            "arrived": float(self._arrived),
+            "served": float(self._served),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore queue state captured by :meth:`state_dict`."""
+        self._backlog = float(state["backlog"])
+        self._history = [float(x) for x in state["history"]]
+        self._arrived = float(state["arrived"])
+        self._served = float(state["served"])
+
 
 class BatchAwareCOCA(Controller):
     """COCA co-scheduling a delay-tolerant batch queue.
@@ -260,6 +277,38 @@ class BatchAwareCOCA(Controller):
     def queue(self):
         """The carbon-deficit queue of the wrapped COCA instance."""
         return self.inner.queue
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Inner COCA state plus the batch queue and pressure-credit EMAs."""
+        return {
+            "inner": self.inner.state_dict(),
+            "backlog": self.backlog.state_dict(),
+            "batch_served": [float(s) for s in self.batch_served],
+            "pending_service": float(self._pending_service),
+            "marginal_ema": (
+                None if self._marginal_ema is None else float(self._marginal_ema)
+            ),
+            "arrival_ema": float(self._arrival_ema),
+            "probe_solver": self._solver.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.inner.load_state_dict(state["inner"])
+        self.backlog.load_state_dict(state["backlog"])
+        self.batch_served = [float(s) for s in state["batch_served"]]
+        self._pending_service = float(state["pending_service"])
+        marginal = state["marginal_ema"]
+        self._marginal_ema = None if marginal is None else float(marginal)
+        self._arrival_ema = float(state["arrival_ema"])
+        self._solver.load_state_dict(state["probe_solver"])
+
+    def set_solve_deadline(self, budget_ms: float | None) -> None:
+        """Forward the budget to both the probe solver and the inner COCA."""
+        self.inner.set_solve_deadline(budget_ms)
+        if hasattr(self._solver, "deadline_ms"):
+            self._solver.deadline_ms = budget_ms
 
     def name(self) -> str:
         return "COCA+batch"

@@ -196,6 +196,48 @@ class COCA(Controller):
                 queue=self.queue.length,
             )
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Everything Algorithm 1 carries across slots, checkpoint-ready."""
+        from ..state.serialize import encode_array
+
+        return {
+            "queue": self.queue.state_dict(),
+            "current_v": float(self._current_v),
+            "v_history": [float(v) for v in self.v_history],
+            "queue_at_decision": [float(q) for q in self.queue_at_decision],
+            "prev_on": encode_array(self._prev_on),
+            "frame_cost": float(self._frame_cost),
+            "frame_deficit": float(self._frame_deficit),
+            "frame_slots": int(self._frame_slots),
+            "frame_started": int(self._frame_started),
+            "failed": sorted(self._failed),
+            "solver": self.solver.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore Algorithm 1 state captured by :meth:`state_dict`."""
+        from ..state.serialize import decode_array
+
+        self.queue.load_state_dict(state["queue"])
+        self._current_v = float(state["current_v"])
+        self.v_history = [float(v) for v in state["v_history"]]
+        self.queue_at_decision = [float(q) for q in state["queue_at_decision"]]
+        self._prev_on = decode_array(state["prev_on"])
+        self._frame_cost = float(state["frame_cost"])
+        self._frame_deficit = float(state["frame_deficit"])
+        self._frame_slots = int(state["frame_slots"])
+        self._frame_started = int(state["frame_started"])
+        self._failed = frozenset(int(g) for g in state["failed"])
+        self.solver.load_state_dict(state["solver"])
+
+    def set_solve_deadline(self, budget_ms: float | None) -> None:
+        """Forward the per-slot wall-clock budget to the P3 engine (only
+        iterative engines expose ``deadline_ms``; enumeration is closed-form
+        and cannot meaningfully be cut)."""
+        if hasattr(self.solver, "deadline_ms"):
+            self.solver.deadline_ms = budget_ms
+
     def observe(self, outcome: SlotOutcome) -> None:
         brown = outcome.evaluation.brown_energy
         queue_before = self.queue.length

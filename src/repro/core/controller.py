@@ -96,6 +96,29 @@ class Controller(ABC):
         aligned with what actually ran; the default does nothing.
         """
 
+    # -- checkpoint/resume hooks (see repro.state) ---------------------
+    def state_dict(self) -> dict:
+        """Mutable controller state a checkpoint must carry.
+
+        Stateless controllers (the myopic baselines) inherit this empty
+        default; anything with a deficit queue, switching memory, or RNG
+        streams overrides both hooks so kill-and-resume stays
+        bit-identical.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (no-op default)."""
+
+    def set_solve_deadline(self, budget_ms: float | None) -> None:
+        """Arm a per-slot wall-clock solve budget.
+
+        The engine calls this once per run when ``--solve-deadline-ms`` is
+        set.  The default ignores it (closed-form baselines cannot blow a
+        budget); controllers owning an iterative P3 engine forward it to
+        the solver's ``deadline_ms``.
+        """
+
     def name(self) -> str:
         """Identifier used in reports and tables."""
         return type(self).__name__

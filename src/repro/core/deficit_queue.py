@@ -84,6 +84,19 @@ class CarbonDeficitQueue:
         but keep the recorded history."""
         self._length = 0.0
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Queue length and full update history for a checkpoint."""
+        return {
+            "length": float(self._length),
+            "history": [float(x) for x in self._history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore queue state captured by :meth:`state_dict`."""
+        self._length = float(state["length"])
+        self._history = [float(x) for x in state["history"]]
+
     def drift_bound_B(self, y_max: float, z_max: float) -> float:
         """The Theorem 2 constant ``B >= 0.5 * (y(t) - z(t))^2`` for all t,
         from the boundedness assumption: ``0.5 * max(y_max, z_max)^2``."""

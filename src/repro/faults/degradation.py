@@ -166,3 +166,18 @@ class DegradationPolicy:
             "solve_retries": int(self.solve_retries),
             "by_reason": dict(self.by_reason),
         }
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Accumulated counters (mode/retries are manifest configuration)."""
+        return {
+            "fallbacks": int(self.fallbacks),
+            "solve_retries": int(self.solve_retries),
+            "by_reason": {str(k): int(v) for k, v in sorted(self.by_reason.items())},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        self.fallbacks = int(state["fallbacks"])
+        self.solve_retries = int(state["solve_retries"])
+        self.by_reason = {str(k): int(v) for k, v in state["by_reason"].items()}

@@ -232,6 +232,44 @@ class FaultInjector:
             solver.retries = self.default_retries
         return True
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Everything mutable about the injector mid-run.
+
+        The schedule itself is immutable configuration (the resume manifest
+        carries it); what a checkpoint needs is the *cursor*: which groups
+        are down, which signal faults are active and until when, the
+        last-clean observation values, the per-solve bus-salt counter, and
+        the accounting so ``fault.summary`` stays consistent after resume.
+        """
+        return {
+            "failed_groups": sorted(int(g) for g in self.failed_groups),
+            "active_signals": {
+                field_: [str(mode), int(until)]
+                for field_, (mode, until) in sorted(self._active_signals.items())
+            },
+            "last_clean": {k: float(v) for k, v in sorted(self._last_clean.items())},
+            "solve_count": int(self._solve_count),
+            "injected": int(self.injected),
+            "suppressed": int(self.suppressed),
+            "ignored": int(self.ignored),
+            "by_kind": {str(k): int(v) for k, v in sorted(self.by_kind.items())},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the injection cursor captured by :meth:`state_dict`."""
+        self.failed_groups = {int(g) for g in state["failed_groups"]}
+        self._active_signals = {
+            field_: (str(mode), int(until))
+            for field_, (mode, until) in state["active_signals"].items()
+        }
+        self._last_clean = {k: float(v) for k, v in state["last_clean"].items()}
+        self._solve_count = int(state["solve_count"])
+        self.injected = int(state["injected"])
+        self.suppressed = int(state["suppressed"])
+        self.ignored = int(state["ignored"])
+        self.by_kind = {str(k): int(v) for k, v in state["by_kind"].items()}
+
     # ------------------------------------------------------------------
     def summary(self) -> dict:
         """Run-level fault accounting for telemetry and CLI reports."""

@@ -255,12 +255,14 @@ class FaultSchedule:
         )
 
     def to_json(self, path: str | None = None, *, indent: int = 2) -> str:
-        """Serialize; when ``path`` is given also write the file."""
+        """Serialize; when ``path`` is given also write the file atomically
+        (write temp + fsync + rename), so a crash mid-write can never leave
+        a torn schedule behind for a later replay to trip over."""
         text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
         if path is not None:
-            with open(path, "w") as fh:
-                fh.write(text)
-                fh.write("\n")
+            from ..state.atomic import atomic_write_text
+
+            atomic_write_text(path, text + "\n")
         return text
 
     @classmethod

@@ -219,6 +219,35 @@ class GeoCOCA:
             )
             self.telemetry.metrics.gauge("geo.queue_depth").set(self.queue.length)
 
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Queue, per-site switching memory, and warm-start split."""
+        from ..state.serialize import encode_array
+
+        return {
+            "queue": self.queue.state_dict(),
+            "prev_on": [encode_array(arr) for arr in self._prev_on],
+            "prev_shares": encode_array(self._prev_shares),
+            "last_v": float(self._last_v),
+            "solvers": (
+                None
+                if self.solvers is None
+                else [s.state_dict() for s in self.solvers]
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        from ..state.serialize import decode_array
+
+        self.queue.load_state_dict(state["queue"])
+        self._prev_on = [decode_array(obj) for obj in state["prev_on"]]
+        self._prev_shares = decode_array(state["prev_shares"])
+        self._last_v = float(state["last_v"])
+        if self.solvers is not None and state["solvers"] is not None:
+            for solver, solver_state in zip(self.solvers, state["solvers"]):
+                solver.load_state_dict(solver_state)
+
     def name(self) -> str:
         return "GeoCOCA"
 

@@ -23,6 +23,7 @@ arithmetic or RNG, so an instrumented run stays bit-identical.  See
 from .alerts import SEVERITIES, Alert, AlertChannel, JsonlAlertSink, stderr_sink
 from .base import HealthMonitor, MonitorReport
 from .dashboard import DASHBOARD_SECTIONS, render_dashboard, write_dashboard
+from .deadline import DeadlineMonitor
 from .faults import FaultActivityMonitor
 from .gsd import GSDAcceptanceMonitor, GSDDispersionMonitor, GSDStallMonitor
 from .invariants import (
@@ -57,6 +58,7 @@ __all__ = [
     "GSDStallMonitor",
     "GSDDispersionMonitor",
     "FaultActivityMonitor",
+    "DeadlineMonitor",
     "MonitorSuite",
     "MonitoringTracer",
     "default_suite",

@@ -1,0 +1,103 @@
+"""Watchdog over solve deadlines (``deadline.*`` events).
+
+An expired deadline is not by itself a failure -- the anytime design is
+*supposed* to cut the search and commit the best incumbent -- so expiries
+surface as warnings that tell the operator the budget is tight (tune with
+``--solve-deadline-ms``; see ``docs/OPERATIONS.md``).  What does count as a
+violation is the deadline machinery failing at its one job: a slot whose
+wall-clock solve time blew past the armed budget by more than
+``overrun_factor``, meaning the solver sat inside a single candidate
+evaluation (or ignored the budget entirely) long after expiry.
+"""
+
+from __future__ import annotations
+
+from .alerts import AlertChannel
+from .base import HealthMonitor
+
+__all__ = ["DeadlineMonitor"]
+
+
+class DeadlineMonitor(HealthMonitor):
+    """Solve deadlines are honoured; overruns and expiries are visible."""
+
+    name = "solve-deadline"
+    description = "slot solves respect the wall-clock budget (anytime cuts OK)"
+    kinds = ("deadline.expired", "deadline.slot_overrun")
+
+    def __init__(self, *, overrun_factor: float = 2.0) -> None:
+        super().__init__()
+        if overrun_factor < 1.0:
+            raise ValueError("overrun_factor must be >= 1")
+        self.overrun_factor = overrun_factor
+        self.expiries = 0
+        self.infeasible_expiries = 0
+        self.overruns = 0
+        self.worst_overrun = 0.0
+
+    # ------------------------------------------------------------------
+    def observe(self, event: dict, alerts: AlertChannel) -> None:
+        kind = event["kind"]
+        self.checked += 1
+        if kind == "deadline.expired":
+            self.expiries += 1
+            if not event.get("best_feasible", True):
+                self.infeasible_expiries += 1
+                alerts.raise_alert(
+                    "warning",
+                    self.name,
+                    f"{event.get('solver', '?')} deadline expired with no "
+                    "feasible incumbent; slot fell through to degradation",
+                    t=event.get("t"),
+                    key=f"{self.name}:infeasible",
+                )
+            else:
+                alerts.raise_alert(
+                    "info",
+                    self.name,
+                    f"{event.get('solver', '?')} cut at "
+                    f"{event.get('completed')}/{event.get('planned')} after "
+                    f"{float(event.get('elapsed_ms', 0.0)):.1f} ms "
+                    f"(budget {float(event.get('budget_ms', 0.0)):.1f} ms)",
+                    t=event.get("t"),
+                    key=f"{self.name}:expired",
+                )
+        elif kind == "deadline.slot_overrun":
+            budget = float(event.get("budget_ms", 0.0))
+            elapsed = float(event.get("elapsed_ms", 0.0))
+            ratio = elapsed / budget if budget > 0 else float("inf")
+            self.worst_overrun = max(self.worst_overrun, ratio)
+            if ratio > self.overrun_factor:
+                self.overruns += 1
+                self.violations += 1
+                alerts.raise_alert(
+                    "critical",
+                    self.name,
+                    f"slot {event.get('t')} solve took {elapsed:.1f} ms against "
+                    f"a {budget:.1f} ms budget ({ratio:.1f}x) — the deadline "
+                    "was not honoured",
+                    t=event.get("t"),
+                    key=f"{self.name}:overrun",
+                )
+            else:
+                alerts.raise_alert(
+                    "warning",
+                    self.name,
+                    f"slot {event.get('t')} solve overran the budget "
+                    f"({elapsed:.1f} ms vs {budget:.1f} ms)",
+                    t=event.get("t"),
+                    key=f"{self.name}:overrun-soft",
+                )
+
+    # ------------------------------------------------------------------
+    def detail(self) -> str:
+        if self.checked == 0:
+            return "no deadline events (unbounded or generous budget)"
+        parts = [f"{self.expiries} anytime cuts"]
+        if self.infeasible_expiries:
+            parts.append(f"{self.infeasible_expiries} with no incumbent")
+        if self.worst_overrun > 0:
+            parts.append(f"worst slot overrun {self.worst_overrun:.2f}x budget")
+        if self.overruns:
+            parts.append(f"{self.overruns} hard overruns")
+        return "; ".join(parts)

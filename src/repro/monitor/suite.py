@@ -23,6 +23,7 @@ from ..telemetry.bundle import Telemetry
 from ..telemetry.tracer import NULL_TRACER, SCHEMA_VERSION, Tracer, new_run_id
 from .alerts import Alert, AlertChannel
 from .base import HealthMonitor, MonitorReport
+from .deadline import DeadlineMonitor
 from .faults import FaultActivityMonitor
 from .gsd import GSDAcceptanceMonitor, GSDDispersionMonitor, GSDStallMonitor
 from .invariants import (
@@ -165,6 +166,7 @@ def default_suite(
         GSDStallMonitor(),
         GSDDispersionMonitor(),
         FaultActivityMonitor(),
+        DeadlineMonitor(),
     ]
     monitors.extend(extra)
     return MonitorSuite(monitors, channel=channel)

@@ -18,13 +18,24 @@ mirroring the paper's information structure:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..cluster.fleet import FleetAction
 from ..core.config import DataCenterModel
 from ..core.controller import Controller, SlotOutcome
+from ..solvers.deadline import DeadlineExceededError
 from ..solvers.messaging import BusTimeoutError
 from ..solvers.problem import InfeasibleError
+from ..state.checkpoint import Checkpoint, CheckpointError, CheckpointWriter
+from ..state.serialize import (
+    decode_action,
+    decode_array,
+    encode_action,
+    encode_array,
+    environment_fingerprint,
+)
 from ..telemetry import Telemetry, coerce
 from .environment import Environment
 from .metrics import SimulationRecord
@@ -125,6 +136,11 @@ def _decide_degraded(
                     tele.emit(
                         "fault.solve_retry", t=obs.t, attempt=attempt + 1, error=str(err)
                     )
+        except DeadlineExceededError:
+            # The wall-clock budget ran out with no feasible incumbent;
+            # retrying would blow the budget again, so fall back directly.
+            reason = "deadline"
+            break
         except InfeasibleError:
             reason = "infeasible"
             break
@@ -152,6 +168,10 @@ def simulate(
     telemetry: Telemetry | None = None,
     faults=None,
     degradation=None,
+    checkpoint: CheckpointWriter | None = None,
+    resume_from: Checkpoint | None = None,
+    solve_deadline_ms: float | None = None,
+    slot_sleep_s: float = 0.0,
 ) -> SimulationRecord:
     """Run ``controller`` over the full budgeting period.
 
@@ -173,12 +193,36 @@ def simulate(
     omitted) governing what runs when a slot solve cannot complete.  An
     empty schedule — and the default ``faults=None`` — leaves every result
     bit-identical to the uninstrumented run.
+
+    ``checkpoint`` attaches a :class:`~repro.state.CheckpointWriter`: at
+    the writer's cadence the complete run state (per-slot columns so far,
+    controller/solver state incl. RNG streams, fault cursor, switching
+    memory) is written crash-safely, so a killed process can continue from
+    ``resume_from`` -- a :class:`~repro.state.Checkpoint` -- and the
+    remaining slots replay **bit-identically** to an uninterrupted run.
+    The checkpoint is validated against this call's environment
+    (fingerprint), horizon, and controller before anything is restored.
+
+    ``solve_deadline_ms`` arms a per-slot wall-clock solve budget on the
+    controller (see :class:`~repro.solvers.SolveDeadline`): on expiry the
+    iterative engines return their best feasible incumbent, and a slot
+    whose solve still overran the budget is flagged with a
+    ``deadline.slot_overrun`` event.  Deadline expiry depends on wall-clock
+    speed, so it intentionally breaks the bit-replay contract.
+
+    ``slot_sleep_s`` sleeps after each slot -- a testing aid that slows a
+    run down (so a crash harness can kill it mid-horizon) without touching
+    any arithmetic or RNG; results stay bit-identical.
     """
     J = environment.horizon
     tele = coerce(telemetry)
     bind = getattr(controller, "bind_telemetry", None)
     if bind is not None:
         bind(tele)
+    if solve_deadline_ms is not None:
+        controller.set_solve_deadline(solve_deadline_ms)
+    if checkpoint is not None:
+        checkpoint.bind_telemetry(tele)
 
     injector = None
     policy = None
@@ -226,8 +270,68 @@ def simulate(
     }
     prev_on: np.ndarray | None = None
     last_realized: FleetAction | None = None
+    start_slot = 0
 
-    for t in range(J):
+    if resume_from is not None:
+        state = resume_from.state
+        env_crc = environment_fingerprint(environment)
+        if int(state.get("env_crc", -1)) != env_crc:
+            raise CheckpointError(
+                "checkpoint was taken against a different environment "
+                "(input-trace fingerprint mismatch); resuming would "
+                "silently break bit-identity"
+            )
+        if int(state["horizon"]) != J:
+            raise CheckpointError(
+                f"checkpoint horizon {state['horizon']} != environment "
+                f"horizon {J}"
+            )
+        if state["controller"]["name"] != controller.name():
+            raise CheckpointError(
+                f"checkpoint belongs to controller "
+                f"{state['controller']['name']!r}, not {controller.name()!r}"
+            )
+        start_slot = int(resume_from.slot)
+        for name, values in state["cols"].items():
+            cols[name] = [float(x) for x in values]
+        if any(len(v) != start_slot for v in cols.values()):
+            raise CheckpointError("checkpoint column lengths disagree with slot")
+        prev_on = decode_array(state["prev_on"])
+        last_realized = decode_action(state["last_realized"])
+        controller.load_state_dict(state["controller"]["state"])
+        if injector is not None and state.get("injector") is not None:
+            injector.load_state_dict(state["injector"])
+        if policy is not None and state.get("degradation") is not None:
+            policy.load_state_dict(state["degradation"])
+        if tele.enabled:
+            tele.emit(
+                "state.resume",
+                slot=start_slot,
+                horizon=J,
+                path=resume_from.path,
+                controller=controller.name(),
+            )
+            tele.metrics.counter("state.resumes").inc()
+
+    def _capture(slot: int) -> dict:
+        """A complete, JSON-ready snapshot of the run after ``slot`` slots."""
+        return {
+            "slot": slot,
+            "horizon": J,
+            "env_crc": environment_fingerprint(environment),
+            "controller": {
+                "name": controller.name(),
+                "state": controller.state_dict(),
+            },
+            "cols": {k: [float(x) for x in v] for k, v in cols.items()},
+            "prev_on": encode_array(prev_on),
+            "last_realized": encode_action(last_realized),
+            "injector": None if injector is None else injector.state_dict(),
+            "degradation": None if policy is None else policy.state_dict(),
+            "run_id": getattr(getattr(tele, "tracer", None), "run_id", None),
+        }
+
+    for t in range(start_slot, J):
         obs = environment.observation(t)
         if injector is not None:
             injector.begin_slot(t)
@@ -268,6 +372,17 @@ def simulate(
         )
 
         if tele.enabled:
+            if (
+                solve_deadline_ms is not None
+                and solve_timer.elapsed * 1000.0 > solve_deadline_ms
+            ):
+                tele.emit(
+                    "deadline.slot_overrun",
+                    t=t,
+                    budget_ms=float(solve_deadline_ms),
+                    elapsed_ms=solve_timer.elapsed * 1000.0,
+                )
+                tele.metrics.counter("deadline.slot_overruns").inc()
             tele.emit(
                 "slot.decision",
                 t=t,
@@ -312,6 +427,11 @@ def simulate(
         cols["served"].append(realized.served_load(model.fleet))
         cols["dropped"].append(dropped)
         cols["active_servers"].append(realized.active_servers(model.fleet))
+
+        if checkpoint is not None:
+            checkpoint.maybe_write(t + 1, lambda: _capture(t + 1))
+        if slot_sleep_s > 0.0:
+            time.sleep(slot_sleep_s)
 
     if injector is not None and tele.enabled:
         tele.emit(

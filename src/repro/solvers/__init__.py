@@ -3,6 +3,7 @@
 from .base import SlotSolution, SlotSolver
 from .brute_force import BruteForceSolver
 from .convex import CoordinateDescentSolver, initial_levels
+from .deadline import DeadlineExceededError, SolveDeadline
 from .degraded import solve_with_failed_groups
 from .enumeration import HomogeneousEnumerationSolver
 from .fastpath import EvaluationCache, FastPathStats
@@ -37,6 +38,8 @@ __all__ = [
     "GSDTrace",
     "geometric_temperature",
     "BruteForceSolver",
+    "SolveDeadline",
+    "DeadlineExceededError",
     "DistributedGSD",
     "DualLoadCoordinator",
     "MessageBus",

@@ -77,3 +77,15 @@ class SlotSolver(ABC):
     def name(self) -> str:
         """Short identifier for reports."""
         return type(self).__name__
+
+    # -------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Mutable solver state a checkpoint must carry to resume exactly.
+
+        Stateless engines (enumeration, brute force) inherit this empty
+        default; engines with RNG streams or counters override it.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (no-op by default)."""

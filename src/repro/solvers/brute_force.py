@@ -17,11 +17,17 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .deadline import DeadlineExceededError, SolveDeadline
 from .fastpath import EvaluationCache
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
 
 __all__ = ["BruteForceSolver"]
+
+#: Combos between deadline polls: amortizes the clock read against the much
+#: costlier inner solves without letting an overrun stretch past ~a screenful
+#: of candidates.
+_DEADLINE_STRIDE = 64
 
 
 class BruteForceSolver(SlotSolver):
@@ -43,6 +49,13 @@ class BruteForceSolver(SlotSolver):
         Seed consecutive inner solves from each other (requires
         ``use_cache``; <= 1e-9 relative objective contract).  Off by
         default -- the oracle stays bit-exact.
+    deadline_ms:
+        Wall-clock budget; the enumeration polls it every
+        ``_DEADLINE_STRIDE`` combos and stops early on expiry, returning
+        the best configuration enumerated so far (no longer the *global*
+        optimum -- ``info["deadline"]["expired"]`` says so) or raising
+        :class:`~repro.solvers.deadline.DeadlineExceededError` when
+        nothing feasible was seen.  ``None`` never expires.
     """
 
     def __init__(
@@ -51,6 +64,7 @@ class BruteForceSolver(SlotSolver):
         max_configs: int = 200_000,
         use_cache: bool = True,
         warm_start: bool = False,
+        deadline_ms: float | None = None,
     ):
         if max_configs < 1:
             raise ValueError("max_configs must be positive")
@@ -59,12 +73,46 @@ class BruteForceSolver(SlotSolver):
         self.max_configs = max_configs
         self.use_cache = use_cache
         self.warm_start = warm_start
+        self.deadline_ms = deadline_ms
 
     def config_count(self, problem: SlotProblem) -> int:
         """Size of the configuration space ``prod_g (K_g + 1)``."""
         return int(np.prod(problem.fleet.num_levels + 1))
 
+    def _on_expiry(
+        self, deadline: SolveDeadline, seen: int, total: int, feasible: bool
+    ) -> None:
+        tele = self.telemetry
+        if tele.enabled:
+            tele.emit(
+                "deadline.expired",
+                solver=self.name(),
+                budget_ms=float(self.deadline_ms),
+                elapsed_ms=deadline.elapsed_ms(),
+                completed=seen,
+                planned=total,
+                best_feasible=feasible,
+            )
+            tele.metrics.counter("deadline.expirations").inc()
+        if not feasible:
+            raise DeadlineExceededError(
+                f"enumeration deadline ({self.deadline_ms} ms) expired after "
+                f"{seen}/{total} configurations with no feasible incumbent"
+            )
+
+    def _deadline_info(
+        self, deadline: SolveDeadline, truncated: bool, seen: int, total: int
+    ) -> dict:
+        return {
+            "budget_ms": float(self.deadline_ms),
+            "elapsed_ms": deadline.elapsed_ms(),
+            "expired": truncated,
+            "completed": seen,
+            "planned": total,
+        }
+
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        deadline = SolveDeadline(self.deadline_ms)
         problem.check_feasible()
         fleet = problem.fleet
         total = self.config_count(problem)
@@ -78,6 +126,8 @@ class BruteForceSolver(SlotSolver):
         best_levels: np.ndarray | None = None
         best_loads: np.ndarray | None = None
         evaluated = 0
+        seen = 0
+        truncated = False
         ranges = [range(-1, int(k)) for k in fleet.num_levels]
 
         if self.use_cache:
@@ -85,6 +135,10 @@ class BruteForceSolver(SlotSolver):
             levels = np.empty(fleet.num_groups, dtype=np.int64)
             prev: tuple[int, ...] | None = None
             for combo in product(*ranges):
+                if seen % _DEADLINE_STRIDE == 0 and seen and deadline.expired():
+                    truncated = True
+                    break
+                seen += 1
                 if prev is None:
                     levels[:] = combo
                     cache.note_all()
@@ -98,6 +152,8 @@ class BruteForceSolver(SlotSolver):
                 if obj < best_obj:
                     best_obj = obj
                     best_levels = levels.copy()
+            if truncated:
+                self._on_expiry(deadline, seen, total, best_levels is not None)
             if best_levels is None:
                 raise InfeasibleError(
                     "no feasible configuration exists for this slot"
@@ -106,17 +162,20 @@ class BruteForceSolver(SlotSolver):
             # combos (provably infeasible or cap-breaking) are excluded.
             evaluated = cache.stats.inner_solves
             action, evaluation = cache.solution_for(best_levels)
-            return SlotSolution(
-                action=action,
-                evaluation=evaluation,
-                info={
-                    "configs_total": total,
-                    "configs_feasible": evaluated,
-                    "fastpath": cache.stats.as_dict(),
-                },
-            )
+            info: dict = {
+                "configs_total": total,
+                "configs_feasible": evaluated,
+                "fastpath": cache.stats.as_dict(),
+            }
+            if self.deadline_ms is not None:
+                info["deadline"] = self._deadline_info(deadline, truncated, seen, total)
+            return SlotSolution(action=action, evaluation=evaluation, info=info)
 
         for combo in product(*ranges):
+            if seen % _DEADLINE_STRIDE == 0 and seen and deadline.expired():
+                truncated = True
+                break
+            seen += 1
             levels = np.asarray(combo, dtype=np.int64)
             try:
                 dist = distribute_load(problem, levels)
@@ -133,11 +192,16 @@ class BruteForceSolver(SlotSolver):
                 best_levels = levels
                 best_loads = dist.per_server_load
 
+        if truncated:
+            self._on_expiry(deadline, seen, total, best_levels is not None)
         if best_levels is None:
             raise InfeasibleError("no feasible configuration exists for this slot")
         action = FleetAction(levels=best_levels, per_server_load=best_loads)
+        info = {"configs_total": total, "configs_feasible": evaluated}
+        if self.deadline_ms is not None:
+            info["deadline"] = self._deadline_info(deadline, truncated, seen, total)
         return SlotSolution(
             action=action,
             evaluation=problem.evaluate(action),
-            info={"configs_total": total, "configs_feasible": evaluated},
+            info=info,
         )

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .deadline import DeadlineExceededError, SolveDeadline
 from .fastpath import EvaluationCache
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
@@ -80,6 +81,11 @@ class CoordinateDescentSolver(SlotSolver):
         Seed each inner solve's bisection brackets from the previous
         candidate's solution (requires ``use_cache``; <= 1e-9 relative
         objective contract, see the fastpath docs).  Off by default.
+    deadline_ms:
+        Wall-clock budget per solve; on expiry the sweep stops and the best
+        incumbent so far is returned (``info["deadline"]``), or
+        :class:`~repro.solvers.deadline.DeadlineExceededError` is raised if
+        nothing feasible was reached yet.  ``None`` never expires.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class CoordinateDescentSolver(SlotSolver):
         rng: np.random.Generator | None = None,
         use_cache: bool = True,
         warm_start: bool = False,
+        deadline_ms: float | None = None,
     ):
         if max_sweeps < 1 or restarts < 1:
             raise ValueError("max_sweeps and restarts must be >= 1")
@@ -100,6 +107,20 @@ class CoordinateDescentSolver(SlotSolver):
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.use_cache = use_cache
         self.warm_start = warm_start
+        self.deadline_ms = deadline_ms
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable solver state (restart RNG position)."""
+        from ..state.serialize import encode_rng
+
+        return {"rng": encode_rng(self.rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the restart RNG from a checkpoint."""
+        from ..state.serialize import decode_rng
+
+        self.rng = decode_rng(state["rng"])
 
     # ------------------------------------------------------------------
     def _objective(self, problem: SlotProblem, levels: np.ndarray) -> float:
@@ -118,6 +139,7 @@ class CoordinateDescentSolver(SlotSolver):
         problem: SlotProblem,
         levels: np.ndarray,
         cache: EvaluationCache | None,
+        deadline: SolveDeadline,
     ) -> tuple[np.ndarray, float, int]:
         fleet = problem.fleet
 
@@ -142,6 +164,10 @@ class CoordinateDescentSolver(SlotSolver):
                 for cand in range(-1, int(fleet.num_levels[g])):
                     if cand == current:
                         continue
+                    if deadline.expired():
+                        # `levels` holds the best accepted configuration of
+                        # this restart, so it is a valid anytime incumbent.
+                        return levels, best, sweeps
                     levels[g] = cand
                     if cache is not None:
                         cache.note_changed(g)
@@ -159,6 +185,7 @@ class CoordinateDescentSolver(SlotSolver):
         return levels, best, sweeps
 
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        deadline = SolveDeadline(self.deadline_ms)
         tele = self.telemetry
         started = time.perf_counter() if tele.enabled else 0.0
         problem.check_feasible()
@@ -171,8 +198,12 @@ class CoordinateDescentSolver(SlotSolver):
         best_levels: np.ndarray | None = None
         best_val = np.inf
         total_sweeps = 0
+        attempts = 0
 
         for attempt in range(self.restarts):
+            if attempt > 0 and deadline.expired():
+                break
+            attempts += 1
             if attempt == 0:
                 levels = initial_levels(problem, "max")
             elif attempt == 1:
@@ -192,13 +223,30 @@ class CoordinateDescentSolver(SlotSolver):
                     feasible_start = np.isfinite(self._objective(problem, levels))
                 if not feasible_start:
                     levels = initial_levels(problem, "max")
-            levels, val, sweeps = self._descend(problem, levels.copy(), cache)
+            levels, val, sweeps = self._descend(problem, levels.copy(), cache, deadline)
             total_sweeps += sweeps
             if val < best_val:
                 best_val = val
                 best_levels = levels.copy()
 
-        if best_levels is None:
+        truncated = deadline.expired()
+        if truncated and tele.enabled:
+            tele.emit(
+                "deadline.expired",
+                solver=self.name(),
+                budget_ms=float(self.deadline_ms),
+                elapsed_ms=deadline.elapsed_ms(),
+                completed=attempts,
+                planned=self.restarts,
+                best_feasible=best_levels is not None and bool(np.isfinite(best_val)),
+            )
+            tele.metrics.counter("deadline.expirations").inc()
+        if best_levels is None or not np.isfinite(best_val):
+            if truncated:
+                raise DeadlineExceededError(
+                    f"coordinate-descent deadline ({self.deadline_ms} ms) expired "
+                    "with no feasible incumbent"
+                )
             # Every restart descended to +inf: no configuration reachable by
             # single-coordinate moves satisfies the operational caps.
             raise InfeasibleError(
@@ -215,6 +263,14 @@ class CoordinateDescentSolver(SlotSolver):
             evaluation = problem.evaluate(action)
 
         info: dict = {"sweeps": total_sweeps, "restarts": self.restarts}
+        if self.deadline_ms is not None:
+            info["deadline"] = {
+                "budget_ms": float(self.deadline_ms),
+                "elapsed_ms": deadline.elapsed_ms(),
+                "expired": truncated,
+                "completed": attempts,
+                "planned": self.restarts,
+            }
         if cache is not None:
             info["fastpath"] = cache.stats.as_dict()
             info["inner_solves"] = cache.stats.inner_solves

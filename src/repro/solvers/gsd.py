@@ -38,6 +38,7 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .deadline import DeadlineExceededError, SolveDeadline
 from .fastpath import EvaluationCache, FastPathStats
 from .load_distribution import distribute_load
 from .problem import InfeasibleError, SlotProblem
@@ -133,6 +134,13 @@ class GSDSolver(SlotSolver):
         match cold ones to <= 1e-9 relative objective error, so this knob
         is off by default and flipped where that tolerance is acceptable
         (benchmarks, long sweeps).
+    deadline_ms:
+        Wall-clock budget per solve.  When it expires mid-chain the solver
+        stops and returns the best feasible incumbent (anytime behaviour,
+        flagged in ``info["deadline"]`` and ``deadline.expired`` telemetry);
+        if no feasible configuration was seen yet it raises
+        :class:`~repro.solvers.deadline.DeadlineExceededError`.  ``None``
+        (the default) never expires.
     """
 
     def __init__(
@@ -147,6 +155,7 @@ class GSDSolver(SlotSolver):
         log_interval: int = 100,
         use_cache: bool = True,
         warm_start: bool = False,
+        deadline_ms: float | None = None,
     ):
         if iterations < 1:
             raise ValueError("iterations must be >= 1")
@@ -168,6 +177,7 @@ class GSDSolver(SlotSolver):
         self.log_interval = log_interval
         self.use_cache = use_cache
         self.warm_start = warm_start
+        self.deadline_ms = deadline_ms
         # Chain counter: stamps telemetry events with a per-solver
         # solve_index so the convergence diagnostics can group the
         # gsd.iteration stream by chain.  Only advanced when telemetry is
@@ -178,6 +188,20 @@ class GSDSolver(SlotSolver):
             if failed_groups is not None
             else np.empty(0, dtype=np.int64)
         )
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything a checkpoint needs to resume this chain exactly."""
+        from ..state.serialize import encode_rng
+
+        return {"rng": encode_rng(self.rng), "solve_count": self._solve_count}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore RNG position and chain counter from a checkpoint."""
+        from ..state.serialize import decode_rng
+
+        self.rng = decode_rng(state["rng"])
+        self._solve_count = int(state["solve_count"])
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -217,6 +241,7 @@ class GSDSolver(SlotSolver):
         return evaluation.objective
 
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        deadline = SolveDeadline(self.deadline_ms)
         problem.check_feasible()
         fleet = problem.fleet
         rng = self.rng
@@ -286,7 +311,11 @@ class GSDSolver(SlotSolver):
                 window=self.log_interval,
             )
 
+        completed = 0
         for it in range(self.iterations):
+            if deadline.expired():
+                break
+            completed = it + 1
             delta = self._temperature(it)
             hist_temp[it] = delta
 
@@ -330,10 +359,35 @@ class GSDSolver(SlotSolver):
             hist_chain[it], hist_best[it] = current, best
             _log_window(it)
 
+        truncated = completed < self.iterations
+        if truncated:
+            # Anytime cut: keep only the iterations that actually ran.
+            hist_chain = hist_chain[:completed]
+            hist_best = hist_best[:completed]
+            hist_acc = hist_acc[:completed]
+            hist_temp = hist_temp[:completed]
+            if tele.enabled:
+                tele.emit(
+                    "deadline.expired",
+                    solver=self.name(),
+                    budget_ms=float(self.deadline_ms),
+                    elapsed_ms=deadline.elapsed_ms(),
+                    completed=completed,
+                    planned=self.iterations,
+                    best_feasible=bool(np.isfinite(best)),
+                )
+                tele.metrics.counter("deadline.expirations").inc()
+            if not np.isfinite(best):
+                raise DeadlineExceededError(
+                    f"GSD solve deadline ({self.deadline_ms} ms) expired after "
+                    f"{completed}/{self.iterations} iterations with no feasible "
+                    "incumbent"
+                )
+
         stats = cache.stats if cache is not None else FastPathStats(cold_solves=n_solves)
         if tele.enabled:
             elapsed = time.perf_counter() - started
-            acceptance = float(hist_acc.mean())
+            acceptance = float(hist_acc.mean()) if completed else 0.0
             metrics = tele.metrics
             metrics.counter("gsd.solves").inc()
             metrics.counter("gsd.inner_solves").inc(stats.inner_solves)
@@ -347,7 +401,7 @@ class GSDSolver(SlotSolver):
             tele.emit(
                 "gsd.solve",
                 solve_index=solve_index,
-                iterations=self.iterations,
+                iterations=completed,
                 inner_solves=stats.inner_solves,
                 evaluations=n_solves,
                 cache_hits=stats.cache_hits,
@@ -382,6 +436,14 @@ class GSDSolver(SlotSolver):
             "fastpath": stats.as_dict(),
             "final_objective": best,
         }
+        if self.deadline_ms is not None:
+            info["deadline"] = {
+                "budget_ms": float(self.deadline_ms),
+                "elapsed_ms": deadline.elapsed_ms(),
+                "expired": truncated,
+                "completed": completed,
+                "planned": self.iterations,
+            }
         if self.record_history:
             info["trace"] = GSDTrace(
                 chain_objective=hist_chain,

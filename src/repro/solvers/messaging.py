@@ -405,6 +405,18 @@ class DistributedGSD(SlotSolver):
         self.retries = retries
         self.last_bus: MessageBus | None = None
 
+    def state_dict(self) -> dict:
+        """Chain RNG position (the bus RNG lives in the fault injector)."""
+        from ..state.serialize import encode_rng
+
+        return {"rng": encode_rng(self.rng)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the chain RNG from a checkpoint."""
+        from ..state.serialize import decode_rng
+
+        self.rng = decode_rng(state["rng"])
+
     def _objective(self, problem: SlotProblem, agents: list[ServerAgent], coord: DualLoadCoordinator, explored: bool) -> float:
         try:
             coord.solve(problem, explored=explored)

@@ -1,0 +1,263 @@
+"""Versioned, checksummed, atomically-written checkpoint files.
+
+File format (two lines of UTF-8 text, so a checkpoint is greppable):
+
+.. code-block:: text
+
+    {"crc32": C, "format": "repro-checkpoint", "payload_bytes": N, "slot": K, "version": 1}
+    {...canonical JSON payload, exactly N bytes...}
+
+The CRC is computed over ``b"<slot>\\n" + payload``, so a bit flip anywhere
+-- in the payload, in the header's slot field, or in the separator -- is
+detected: payload flips break the CRC directly, a flipped ``slot`` digit
+disagrees with the checksummed one, a flipped ``payload_bytes`` digit fails
+the length check, and a mangled header fails to parse.  Truncation fails
+the length check before the CRC is even consulted.
+
+Writes go through :func:`repro.state.atomic.atomic_write_bytes` (temp +
+fsync + rename), so a crash mid-write leaves the previous rotation intact
+and never a torn file.  :func:`latest_valid_checkpoint` walks the rotation
+newest-first, skipping (and reporting, via ``state.checkpoint_rejected``
+telemetry) anything corrupt -- the recovery path after an unclean shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+
+from ..telemetry import Telemetry, coerce
+from .atomic import atomic_write_bytes
+from .serialize import canonical_dumps
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointWriter",
+    "dumps_checkpoint",
+    "latest_valid_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "loads_checkpoint",
+    "write_checkpoint",
+]
+
+#: Format discriminator in every checkpoint header.
+CHECKPOINT_MAGIC = "repro-checkpoint"
+#: Current checkpoint schema revision; readers reject files from the future.
+CHECKPOINT_VERSION = 1
+
+_FILENAME = "ckpt-{slot:08d}.json"
+_FILENAME_RE = re.compile(r"^ckpt-(\d{8})\.json$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, parsed, or validated."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One validated checkpoint: the slot it resumes *into* plus the state."""
+
+    slot: int
+    state: dict
+    path: str | None = None
+
+
+def _crc(slot: int, payload: bytes) -> int:
+    return zlib.crc32(f"{slot}\n".encode() + payload) & 0xFFFFFFFF
+
+
+def dumps_checkpoint(slot: int, state: dict) -> bytes:
+    """Serialize ``state`` into the two-line checkpoint format."""
+    if slot < 0:
+        raise CheckpointError("checkpoint slot must be non-negative")
+    payload = canonical_dumps(state)
+    header = canonical_dumps(
+        {
+            "format": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "slot": int(slot),
+            "payload_bytes": len(payload),
+            "crc32": _crc(slot, payload),
+        }
+    )
+    return header + b"\n" + payload + b"\n"
+
+
+def loads_checkpoint(data: bytes, *, path: str | None = None) -> Checkpoint:
+    """Parse and validate checkpoint bytes; raises :class:`CheckpointError`
+    on any corruption (truncation, bit flips, wrong format, future version)."""
+    where = f" ({path})" if path else ""
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"checkpoint has no header line{where}")
+    try:
+        header = json.loads(data[:newline])
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"checkpoint header is not valid JSON{where}: {exc}")
+    if not isinstance(header, dict) or header.get("format") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"not a {CHECKPOINT_MAGIC} file{where}")
+    version = header.get("version")
+    if not isinstance(version, int) or version > CHECKPOINT_VERSION or version < 1:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r}{where} "
+            f"(this build reads <= {CHECKPOINT_VERSION})"
+        )
+    slot = header.get("slot")
+    expected_bytes = header.get("payload_bytes")
+    expected_crc = header.get("crc32")
+    if not isinstance(slot, int) or not isinstance(expected_bytes, int) or not isinstance(expected_crc, int):
+        raise CheckpointError(f"checkpoint header fields malformed{where}")
+    payload = data[newline + 1 :]
+    if payload.endswith(b"\n"):
+        payload = payload[:-1]
+    if len(payload) != expected_bytes:
+        raise CheckpointError(
+            f"checkpoint truncated{where}: header promises {expected_bytes} "
+            f"payload bytes, found {len(payload)}"
+        )
+    if _crc(slot, payload) != expected_crc:
+        raise CheckpointError(f"checkpoint checksum mismatch{where}")
+    try:
+        state = json.loads(payload)
+    except (ValueError, UnicodeDecodeError) as exc:  # pragma: no cover - CRC guards this
+        raise CheckpointError(f"checkpoint payload is not valid JSON{where}: {exc}")
+    if not isinstance(state, dict):
+        raise CheckpointError(f"checkpoint payload must be a JSON object{where}")
+    return Checkpoint(slot=slot, state=state, path=path)
+
+
+def checkpoint_path(directory: str, slot: int) -> str:
+    """The rotation filename for ``slot`` inside ``directory``."""
+    return os.path.join(str(directory), _FILENAME.format(slot=int(slot)))
+
+
+def write_checkpoint(directory: str, slot: int, state: dict, *, sync: bool = True) -> str:
+    """Atomically write one checkpoint file; returns its path."""
+    os.makedirs(str(directory), exist_ok=True)
+    path = checkpoint_path(directory, slot)
+    atomic_write_bytes(path, dumps_checkpoint(slot, state), sync=sync)
+    return path
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read and validate one checkpoint file."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+    return loads_checkpoint(data, path=str(path))
+
+
+def list_checkpoints(directory: str) -> list[str]:
+    """Rotation files in ``directory``, oldest (lowest slot) first.
+
+    Only well-*named* files are listed; validity is the loader's job.
+    """
+    try:
+        names = os.listdir(str(directory))
+    except OSError:
+        return []
+    matched = sorted(
+        (int(m.group(1)), name)
+        for name in names
+        if (m := _FILENAME_RE.match(name)) is not None
+    )
+    return [os.path.join(str(directory), name) for _, name in matched]
+
+
+def latest_valid_checkpoint(
+    directory: str, *, telemetry: Telemetry | None = None
+) -> Checkpoint | None:
+    """The newest checkpoint in ``directory`` that validates.
+
+    Corrupt files (truncated by a crash, bit-flipped on disk) are skipped
+    newest-first with a ``state.checkpoint_rejected`` telemetry event each,
+    so recovery falls back to the previous good rotation entry instead of
+    failing outright.  Returns ``None`` when nothing validates.
+    """
+    tele = coerce(telemetry)
+    for path in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(path)
+        except CheckpointError as exc:
+            if tele.enabled:
+                tele.emit("state.checkpoint_rejected", path=str(path), error=str(exc))
+                tele.metrics.counter("state.checkpoints_rejected").inc()
+    return None
+
+
+class CheckpointWriter:
+    """Cadenced checkpoint writes with a bounded rotation.
+
+    Parameters
+    ----------
+    directory:
+        Where the rotation lives (created on first write).
+    every:
+        Write cadence in slots: a checkpoint lands after each slot ``t``
+        with ``(t + 1) % every == 0``.
+    keep:
+        Rotation depth; older files beyond the ``keep`` newest are deleted
+        after each successful write (at least 2 is sensible, so a corrupt
+        newest file still has a fallback).
+    sync:
+        Fsync data and directory on each write (disable only in tests).
+    """
+
+    def __init__(self, directory: str, *, every: int = 1, keep: int = 3, sync: bool = True):
+        if every < 1:
+            raise ValueError("checkpoint cadence `every` must be >= 1")
+        if keep < 1:
+            raise ValueError("rotation depth `keep` must be >= 1")
+        self.directory = str(directory)
+        self.every = int(every)
+        self.keep = int(keep)
+        self.sync = sync
+        self.written = 0
+        self.telemetry: Telemetry = coerce(None)
+
+    def bind_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach the run's telemetry (``state.checkpoint`` events)."""
+        self.telemetry = coerce(telemetry)
+
+    def due(self, slot: int) -> bool:
+        """Whether a checkpoint is scheduled at resume-slot ``slot``."""
+        return slot > 0 and slot % self.every == 0
+
+    def write(self, slot: int, state: dict) -> str:
+        """Write one checkpoint now (regardless of cadence) and rotate."""
+        path = write_checkpoint(self.directory, slot, state, sync=self.sync)
+        self.written += 1
+        self._rotate()
+        tele = self.telemetry
+        if tele.enabled:
+            tele.emit(
+                "state.checkpoint",
+                slot=int(slot),
+                path=path,
+                bytes=os.path.getsize(path),
+                kept=min(self.written, self.keep),
+            )
+            tele.metrics.counter("state.checkpoints").inc()
+        return path
+
+    def maybe_write(self, slot: int, build_state) -> str | None:
+        """Write at the cadence; ``build_state`` is only called when due, so
+        off-cadence slots pay nothing for state capture."""
+        if not self.due(slot):
+            return None
+        return self.write(slot, build_state())
+
+    def _rotate(self) -> None:
+        for path in list_checkpoints(self.directory)[: -self.keep or None]:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - racing cleanup is fine
+                pass

@@ -1,0 +1,56 @@
+"""Bit-exact save/load/diff of :class:`~repro.sim.metrics.SimulationRecord`.
+
+A record file is the artifact the crash-recovery harness and the CI
+``resume-smoke`` job compare: an interrupted-then-resumed run must produce
+a record **byte-for-byte equal** to the uninterrupted golden.  ``np.savez``
+preserves every float64 bit, and :func:`record_mismatches` compares with
+``np.array_equal`` -- no tolerances anywhere, by design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+
+import numpy as np
+
+from ..sim.metrics import SimulationRecord
+from .atomic import atomic_write_bytes
+
+__all__ = ["load_record", "record_mismatches", "save_record"]
+
+_ARRAY_FIELDS = tuple(
+    f.name for f in dataclasses.fields(SimulationRecord) if f.name != "controller"
+)
+
+
+def save_record(record: SimulationRecord, path: str) -> None:
+    """Atomically write ``record`` as an ``.npz`` archive."""
+    buf = io.BytesIO()
+    arrays = {name: np.asarray(getattr(record, name)) for name in _ARRAY_FIELDS}
+    np.savez(buf, controller=np.asarray(record.controller), **arrays)
+    atomic_write_bytes(str(path), buf.getvalue())
+
+
+def load_record(path: str) -> SimulationRecord:
+    """Inverse of :func:`save_record`."""
+    with np.load(str(path), allow_pickle=False) as data:
+        return SimulationRecord(
+            controller=str(data["controller"]),
+            **{name: data[name] for name in _ARRAY_FIELDS},
+        )
+
+
+def record_mismatches(a: SimulationRecord, b: SimulationRecord) -> list[str]:
+    """Names of fields where two records differ *at all* (bitwise on arrays).
+
+    Empty list means the records are identical -- the pass condition for
+    resume verification.
+    """
+    bad = []
+    if a.controller != b.controller:
+        bad.append("controller")
+    for name in _ARRAY_FIELDS:
+        if not np.array_equal(np.asarray(getattr(a, name)), np.asarray(getattr(b, name))):
+            bad.append(name)
+    return bad

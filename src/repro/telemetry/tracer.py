@@ -176,15 +176,19 @@ class InMemoryTracer(Tracer):
 class JsonlTracer(Tracer):
     """Streams events to ``path`` as JSON Lines (one object per line).
 
-    The file is written incrementally, so a crashed run still leaves a
-    valid prefix; read it back with
+    Events stream into a ``<path>.part`` sibling which is atomically
+    committed (flush + fsync + rename) to ``path`` on :meth:`close`, so a
+    reader never sees a torn final trace.  A *crashed* run leaves the
+    readable ``.part`` prefix behind for forensics -- every line already
+    written is a complete JSON object -- while the committed ``path`` from
+    any previous run stays intact; read either back with
     :func:`repro.telemetry.exporters.read_jsonl_events`.
     """
 
     def __init__(self, path: str, *, run_id: str | None = None) -> None:
         self.path = str(path)
         self.run_id = run_id if run_id is not None else new_run_id()
-        self._fh = open(self.path, "w")
+        self._fh = open(self.path + ".part", "w")
         self.count = 0
 
     def emit(self, kind: str, /, **fields) -> None:
@@ -205,4 +209,6 @@ class JsonlTracer(Tracer):
 
     def close(self) -> None:
         if not self._fh.closed:
-            self._fh.close()
+            from ..state.atomic import commit_file
+
+            commit_file(self._fh, self.path)

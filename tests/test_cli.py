@@ -1,8 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_BAD_INPUT,
+    EXIT_MONITOR_CRITICAL,
+    EXIT_REPLAY_MISMATCH,
+    MANIFEST_NAME,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -73,3 +83,155 @@ class TestCommands:
             main(["quickstart", "--horizon", "72", "--v", "0.05", "--workload", "msr"])
             == 0
         )
+
+
+class TestRunResume:
+    def _run(self, ckpt_dir, *extra):
+        return main(
+            [
+                "run",
+                "--horizon", "48",
+                "--seed", "3",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-every", "4",
+                *extra,
+            ]
+        )
+
+    def test_run_writes_manifest_and_rotation(self, tmp_path, capsys):
+        assert self._run(tmp_path / "ckpts", "--checkpoint-keep", "2") == 0
+        names = sorted(os.listdir(tmp_path / "ckpts"))
+        assert MANIFEST_NAME in names
+        assert [n for n in names if n.startswith("ckpt-")] == [
+            "ckpt-00000044.json",
+            "ckpt-00000048.json",
+        ]
+
+    def test_run_without_checkpoints(self, capsys):
+        assert main(["run", "--horizon", "48", "--seed", "3"]) == 0
+        assert "run: cost" in capsys.readouterr().out
+
+    def test_resume_verify_replay_passes(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert self._run(ckpt_dir) == 0
+        assert main(["resume", str(ckpt_dir), "--verify-replay"]) == 0
+        assert "bit-identical" in capsys.readouterr().out
+
+    def test_record_out_round_trips(self, tmp_path, capsys):
+        from repro.state import load_record, record_mismatches
+
+        ckpt_dir = tmp_path / "ckpts"
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        assert self._run(ckpt_dir, "--record-out", str(a)) == 0
+        assert main(["resume", str(ckpt_dir), "--record-out", str(b)]) == 0
+        assert record_mismatches(load_record(str(a)), load_record(str(b))) == []
+
+
+class TestExitCodes:
+    """The three failure classes exit with distinct codes (satellite
+    contract): bad input = 1, monitor critical = 2, replay mismatch = 3."""
+
+    def test_codes_are_distinct(self):
+        assert len({EXIT_BAD_INPUT, EXIT_MONITOR_CRITICAL, EXIT_REPLAY_MISMATCH}) == 3
+
+    def test_chaos_missing_schedule_is_bad_input(self, tmp_path, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--horizon", "48",
+                "--schedule", str(tmp_path / "missing.json"),
+            ]
+        )
+        assert rc == EXIT_BAD_INPUT
+        assert "cannot load fault schedule" in capsys.readouterr().err
+
+    def test_chaos_torn_schedule_is_bad_input(self, tmp_path, capsys):
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"events": [')
+        rc = main(["chaos", "--horizon", "48", "--schedule", str(torn)])
+        assert rc == EXIT_BAD_INPUT
+
+    def test_resume_missing_manifest_is_bad_input(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path)]) == EXIT_BAD_INPUT
+
+    def test_resume_without_valid_checkpoint_is_bad_input(self, tmp_path, capsys):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps(
+                {
+                    "format": "repro-run-manifest",
+                    "version": 1,
+                    "scenario": {
+                        "scale": "small",
+                        "horizon": 48,
+                        "workload": "fiu",
+                        "seed": 3,
+                        "budget_fraction": 0.92,
+                    },
+                    "run": {
+                        "v": 150.0,
+                        "solver": "auto",
+                        "iterations": 200,
+                        "solver_seed": 7,
+                        "fallback": "last_action",
+                        "retries": 1,
+                        "solve_deadline_ms": None,
+                    },
+                    "schedule": None,
+                    "checkpoint": {"every": 1, "keep": 3},
+                }
+            )
+        )
+        rc = main(["resume", str(tmp_path)])
+        assert rc == EXIT_BAD_INPUT
+        assert "no valid checkpoint" in capsys.readouterr().err
+
+    def test_resume_verify_replay_refuses_deadline_runs(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert (
+            main(
+                [
+                    "run",
+                    "--horizon", "48",
+                    "--seed", "3",
+                    "--checkpoint-dir", str(ckpt_dir),
+                    "--solve-deadline-ms", "10000",
+                ]
+            )
+            == 0
+        )
+        rc = main(["resume", str(ckpt_dir), "--verify-replay"])
+        assert rc == EXIT_BAD_INPUT
+        assert "solve-deadline" in capsys.readouterr().err
+
+    def test_tampered_state_is_replay_mismatch(self, tmp_path, capsys):
+        # A *validly checksummed* checkpoint whose state was rewritten is
+        # exactly what --verify-replay exists to catch: the resumed record
+        # carries the tampered history and must diverge from golden.
+        from repro.state import (
+            latest_valid_checkpoint,
+            write_checkpoint,
+        )
+
+        ckpt_dir = tmp_path / "ckpts"
+        assert (
+            main(
+                [
+                    "run",
+                    "--horizon", "48",
+                    "--seed", "3",
+                    "--checkpoint-dir", str(ckpt_dir),
+                    "--checkpoint-every", "4",
+                ]
+            )
+            == 0
+        )
+        ckpt = latest_valid_checkpoint(str(ckpt_dir))
+        state = dict(ckpt.state)
+        cols = {k: list(v) for k, v in state["cols"].items()}
+        cols["cost"][0] += 1.0
+        state["cols"] = cols
+        write_checkpoint(str(ckpt_dir), ckpt.slot, state)
+        rc = main(["resume", str(ckpt_dir), "--verify-replay"])
+        assert rc == EXIT_REPLAY_MISMATCH
+        assert "DIVERGED" in capsys.readouterr().err
