@@ -17,6 +17,7 @@ dashboard      offline HTML health report (monitors + charts) from a trace
 chaos          COCA under seeded fault injection (failures, lossy messaging)
 run            checkpointed long-horizon run (crash-safe, resumable)
 resume         continue a killed ``run`` from its newest valid checkpoint
+serve          long-running online control service over a live signal feed
 =============  ==========================================================
 
 Scenario commands accept ``--scale {small,paper}`` (a 400-server fortnight
@@ -30,7 +31,9 @@ Failures exit with a *distinct* nonzero code so CI and scripts can tell
 them apart: :data:`EXIT_BAD_INPUT` (1) for unreadable/invalid inputs,
 :data:`EXIT_MONITOR_CRITICAL` (2) for ``--strict`` invariant-monitor
 failures, :data:`EXIT_REPLAY_MISMATCH` (3) when ``--verify-replay`` finds
-a bit-level divergence.
+a bit-level divergence, :data:`EXIT_SHUTDOWN` (4) when ``repro serve``
+stopped on SIGTERM/SIGINT after writing its shutdown checkpoint (the
+resumable exit; see ``docs/OPERATIONS.md``).
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ __all__ = [
     "EXIT_BAD_INPUT",
     "EXIT_MONITOR_CRITICAL",
     "EXIT_REPLAY_MISMATCH",
+    "EXIT_SHUTDOWN",
 ]
 
 #: Unreadable or invalid input (missing trace, torn schedule, bad manifest).
@@ -56,6 +60,8 @@ EXIT_BAD_INPUT = 1
 EXIT_MONITOR_CRITICAL = 2
 #: ``--verify-replay`` found records that are not bit-identical.
 EXIT_REPLAY_MISMATCH = 3
+#: ``repro serve`` stopped on a signal after a clean shutdown checkpoint.
+EXIT_SHUTDOWN = 4
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
@@ -759,6 +765,382 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------- serve
+def _serve_config(args):
+    """A :class:`~repro.serve.ServeConfig` from the parsed CLI flags."""
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        source=args.source,
+        feed=args.feed,
+        slot_period_s=args.slot_period_s,
+        signal_timeout_s=args.signal_timeout_s,
+        poll_interval_s=args.poll_interval_s,
+        solve_deadline_ms=args.solve_deadline_ms,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        status_port=args.status_port,
+        status_port_file=args.status_port_file,
+        dashboard_out=args.dashboard_out,
+        dashboard_every=args.dashboard_every,
+        alert_rearm=args.alert_rearm,
+        max_slots=args.max_slots,
+        source_seed=args.source_seed,
+        fallback=args.fallback,
+        retries=args.retries,
+        synthetic={
+            "p_drop": args.p_drop,
+            "p_late": args.p_late,
+            "p_field_loss": args.p_field_loss,
+            "p_swap": args.p_swap,
+        },
+    )
+
+
+def _load_manifest_or_fail(command: str, checkpoint_dir: str) -> dict | None:
+    """Load a run manifest for a CLI command; on failure print the reason
+    (no traceback) to stderr and return None."""
+    import json
+    import os
+
+    manifest_path = os.path.join(checkpoint_dir, MANIFEST_NAME)
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != _MANIFEST_FORMAT:
+            raise ValueError(f"not a {_MANIFEST_FORMAT} file")
+        return manifest
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro {command}: cannot load {manifest_path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _serve_build_feed(config, scenario):
+    """(source, environment, injector, policy) for the configured feed.
+
+    Replay wraps the scenario's own environment (base-backed, so its
+    checkpoints are interchangeable with batch ``repro run``) and attaches
+    *no* injector: replay promises perfect delivery, and the fault-free
+    runner path is exactly the batch path -- bit-identity by construction.
+    Live feeds (file, synthetic) run over a bare :class:`LiveEnvironment`
+    with an empty-schedule injector, so every feed loss degrades through
+    the standard chaos machinery.
+    """
+    from .faults import DegradationPolicy, FaultInjector, FaultSchedule
+    from .serve import (
+        FileTailSignalSource,
+        LiveEnvironment,
+        ReplaySignalSource,
+        SyntheticSignalSource,
+    )
+
+    if config.source == "replay":
+        source = ReplaySignalSource(scenario.environment)
+        environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        return source, environment, None, None
+    if config.source == "file":
+        source = FileTailSignalSource(config.feed)
+    else:
+        source = SyntheticSignalSource(
+            scenario.environment, seed=config.source_seed, **config.synthetic
+        )
+    environment = LiveEnvironment(scenario.horizon)
+    injector = FaultInjector(
+        FaultSchedule(), num_groups=scenario.model.fleet.num_groups
+    )
+    policy = DegradationPolicy(mode=config.fallback, retries=config.retries)
+    return source, environment, injector, policy
+
+
+def _cmd_serve(args) -> int:
+    import json
+    import os
+    import signal as _signal
+    import threading
+
+    from .monitor import default_suite
+    from .monitor.alerts import AlertChannel, stderr_sink
+    from .monitor.suite import MonitoringTracer
+    from .serve import (
+        JOURNAL_NAME,
+        ControlService,
+        FrameJournal,
+        StalenessResolver,
+        StatusBoard,
+        StatusServer,
+        frames_from_environment,
+    )
+    from .state import (
+        CheckpointError,
+        CheckpointWriter,
+        atomic_write_text,
+        latest_valid_checkpoint,
+    )
+    from .telemetry import JsonlTracer, RingBufferTracer, Telemetry, write_metrics
+
+    config = _serve_config(args)
+
+    manifest = None
+    if args.resume:
+        if not args.checkpoint_dir:
+            print(
+                "repro serve: --resume requires --checkpoint-dir DIR",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        manifest = _load_manifest_or_fail("serve", args.checkpoint_dir)
+        if manifest is None:
+            return EXIT_BAD_INPUT
+        # The manifest owns everything determinism depends on (scenario,
+        # solver, feed identity); the current invocation keeps only the
+        # operational knobs (pacing, ports, dashboard, max-slots).
+        serve_cfg = manifest.get("serve", {})
+        config.source = serve_cfg.get("source", config.source)
+        config.feed = serve_cfg.get("feed", config.feed)
+        config.source_seed = int(serve_cfg.get("source_seed", config.source_seed))
+        config.synthetic = dict(serve_cfg.get("synthetic", config.synthetic))
+        config.signal_timeout_s = float(
+            serve_cfg.get("signal_timeout_s", config.signal_timeout_s)
+        )
+        config.fallback = manifest["run"].get("fallback", config.fallback)
+        config.retries = int(manifest["run"].get("retries", config.retries))
+        config.solve_deadline_ms = manifest["run"].get("solve_deadline_ms")
+        config.checkpoint_every = int(manifest["checkpoint"]["every"])
+        config.checkpoint_keep = int(manifest["checkpoint"]["keep"])
+
+    problems = config.problems()
+    if args.dry_run:
+        if problems:
+            for problem in problems:
+                print(f"repro serve: {problem}", file=sys.stderr)
+            print(f"dry run: {len(problems)} problem(s) found", file=sys.stderr)
+            return EXIT_BAD_INPUT
+        print(f"dry run: config ok ({config.describe()})")
+        return 0
+    if problems:
+        for problem in problems:
+            print(f"repro serve: {problem}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+    if manifest is not None:
+        scenario = _scenario_from_manifest(manifest["scenario"])
+    else:
+        scenario_cfg = {
+            "scale": args.scale,
+            "horizon": args.horizon,
+            "workload": args.workload,
+            "seed": args.seed,
+            "budget_fraction": args.budget_fraction,
+        }
+        scenario = _scenario_from_manifest(scenario_cfg)
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": 1,
+            "scenario": scenario_cfg,
+            # The run block matches `repro run` exactly, and `schedule` is
+            # None, so a batch `repro resume DIR` rebuilds the identical
+            # fault-free stack from a serve checkpoint directory.
+            "run": {
+                "v": args.v,
+                "solver": args.solver,
+                "iterations": args.iterations,
+                "solver_seed": args.solver_seed,
+                "fallback": config.fallback,
+                "retries": config.retries,
+                "solve_deadline_ms": config.solve_deadline_ms,
+            },
+            "schedule": None,
+            "checkpoint": {
+                "every": config.checkpoint_every,
+                "keep": config.checkpoint_keep,
+            },
+            "serve": {
+                "source": config.source,
+                "feed": config.feed,
+                "source_seed": config.source_seed,
+                "synthetic": config.synthetic,
+                "signal_timeout_s": config.signal_timeout_s,
+            },
+        }
+
+    source, environment, injector, policy = _serve_build_feed(config, scenario)
+    _, controller, _, _ = _materialize_run(manifest, scenario=scenario)
+
+    # Alerts stream to stderr as monitors raise them; --alert-rearm re-arms
+    # a persisting condition every N slots instead of once per run.
+    channel = AlertChannel([stderr_sink], dedup_window=config.alert_rearm)
+    suite = default_suite(channel=channel)
+    file_tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    ring = None
+    tap_inner = file_tracer
+    if config.dashboard_every:
+        ring = RingBufferTracer(inner=file_tracer)
+        tap_inner = ring
+    telemetry = Telemetry(tracer=MonitoringTracer(suite, tap_inner))
+
+    writer = journal = None
+    journal_path = None
+    if config.checkpoint_dir:
+        os.makedirs(config.checkpoint_dir, exist_ok=True)
+        journal_path = os.path.join(config.checkpoint_dir, JOURNAL_NAME)
+        if not args.resume:
+            atomic_write_text(
+                os.path.join(config.checkpoint_dir, MANIFEST_NAME),
+                json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+            )
+        writer = CheckpointWriter(
+            config.checkpoint_dir,
+            every=config.checkpoint_every,
+            keep=config.checkpoint_keep,
+        )
+
+    from .sim.engine import SlotRunner
+
+    runner = SlotRunner(
+        scenario.model,
+        controller,
+        environment,
+        telemetry=telemetry,
+        faults=injector,
+        degradation=policy,
+        checkpoint=writer,
+        solve_deadline_ms=config.solve_deadline_ms,
+    )
+    resolver = StalenessResolver(
+        source,
+        injector=runner.injector,
+        telemetry=telemetry,
+        timeout_s=config.signal_timeout_s,
+        poll_interval_s=config.poll_interval_s,
+    )
+    runner.start()
+
+    if args.resume:
+        ckpt = latest_valid_checkpoint(config.checkpoint_dir, telemetry=telemetry)
+        if ckpt is None:
+            print(
+                f"repro serve: no valid checkpoint in {config.checkpoint_dir}",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        # Refill the resolved prefix the checkpoint's fingerprint covers:
+        # replay regenerates it from the scenario traces; live feeds replay
+        # the journal (synthesized values exist nowhere else).
+        if config.source == "replay":
+            frames = [
+                f
+                for f in frames_from_environment(scenario.environment)
+                if f.slot < ckpt.slot
+            ]
+        else:
+            frames = FrameJournal.load(journal_path, upto=ckpt.slot)
+            if len(frames) < ckpt.slot:
+                print(
+                    f"repro serve: journal {journal_path} holds "
+                    f"{len(frames)} frame(s) but the checkpoint is at slot "
+                    f"{ckpt.slot}; cannot rebuild the resolved prefix",
+                    file=sys.stderr,
+                )
+                return EXIT_BAD_INPUT
+            FrameJournal.truncate(journal_path, frames)
+        for frame in frames:
+            environment.append(frame)
+        try:
+            runner.restore(ckpt)
+        except CheckpointError as exc:
+            print(f"repro serve: {exc}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+        source.seek(ckpt.slot)
+        resolver.restore(frames[-1] if frames else None)
+        print(f"resuming from {ckpt.path} (slot {ckpt.slot}/{scenario.horizon})")
+    if journal_path is not None:
+        journal = FrameJournal(journal_path)
+
+    board = StatusBoard()
+    server = None
+    if config.status_port is not None:
+        server = StatusServer(board, port=config.status_port)
+        print(f"status endpoint at {server.url}/status")
+        if config.status_port_file:
+            atomic_write_text(config.status_port_file, f"{server.port}\n")
+
+    service = ControlService(
+        runner,
+        resolver,
+        board=board,
+        suite=suite,
+        journal=journal,
+        budget_mwh=scenario.budget,
+        slot_period_s=config.slot_period_s,
+        max_slots=config.max_slots,
+        dashboard_out=config.dashboard_out,
+        dashboard_every=config.dashboard_every,
+        recent_events=ring,
+    )
+
+    stop = threading.Event()
+    previous_handlers = {}
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        previous_handlers[sig] = _signal.signal(sig, lambda *_: stop.set())
+    print(f"serving: {config.describe()} ({scenario.horizon} slots)")
+    try:
+        result = service.run(stop)
+    finally:
+        for sig, handler in previous_handlers.items():
+            _signal.signal(sig, handler)
+        suite.finalize()
+        if journal is not None:
+            journal.close()
+        source.close()
+        if server is not None:
+            server.close()
+        if file_tracer is not None:
+            file_tracer.close()
+            print(f"trace written to {args.trace_out} ({file_tracer.count} events)")
+        if args.metrics_out:
+            write_metrics(telemetry.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+
+    reports = suite.reports()
+    passing = sum(1 for r in reports if r.passed)
+    for report in reports:
+        if not report.passed:
+            print(f"  FAIL {report.monitor}: {report.detail}", file=sys.stderr)
+
+    if result.status == "stopped":
+        where = f"slot {result.stopped_at}/{scenario.horizon}"
+        if result.checkpoint_path:
+            print(f"serve: stopped at {where}; checkpoint {result.checkpoint_path}")
+            print(
+                f"resume with: repro serve --resume --checkpoint-dir "
+                f"{config.checkpoint_dir}"
+                + (
+                    f"  (or: repro resume {config.checkpoint_dir})"
+                    if config.source == "replay"
+                    else ""
+                )
+            )
+        else:
+            print(f"serve: stopped at {where} (no checkpoint dir; not resumable)")
+        return EXIT_SHUTDOWN if stop.is_set() else 0
+
+    _print_run_summary(result.record)
+    _maybe_save_record(args, result.record)
+    stats = resolver.stats()
+    degraded = sum(v for k, v in stats.items() if k not in ("ok", "late"))
+    print(
+        f"signals: {stats['ok']} ok, {stats['late']} late, {degraded} degraded "
+        f"({', '.join(f'{k}={v}' for k, v in stats.items() if k not in ('ok', 'late') and v)})"
+        if degraded
+        else f"signals: {stats['ok']} ok, {stats['late']} late"
+    )
+    print(f"monitors: {passing}/{len(reports)} passing")
+    if args.strict and passing < len(reports):
+        return EXIT_MONITOR_CRITICAL
+    return 0
+
+
 # ----------------------------------------------------------------- parser
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:
     """The fault-schedule flags shared by ``chaos`` and ``run``."""
@@ -988,6 +1370,142 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the final SimulationRecord (.npz) for golden diffs",
     )
     p.set_defaults(func=_cmd_resume)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running online control service over a live signal feed",
+    )
+    _add_scenario_args(p)
+    _add_telemetry_args(p)
+    p.add_argument(
+        "--source",
+        choices=["replay", "file", "synthetic"],
+        default="replay",
+        help="signal feed: replay the scenario traces (deterministic), "
+        "tail a JSONL feed file, or a seeded lossy generator",
+    )
+    p.add_argument(
+        "--feed", default=None, metavar="FILE",
+        help="JSONL feed path (required with --source file)",
+    )
+    p.add_argument("--v", type=float, default=150.0, help="fixed V for the run")
+    p.add_argument(
+        "--solver",
+        choices=["auto", "gsd", "distributed"],
+        default="auto",
+        help="P3 engine (auto = exact enumeration/coordinate descent)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=200,
+        help="iterations per solve for --solver gsd/distributed",
+    )
+    p.add_argument(
+        "--solver-seed", type=int, default=7,
+        help="RNG seed for the stochastic solvers",
+    )
+    p.add_argument(
+        "--fallback",
+        choices=["last_action", "proportional"],
+        default="last_action",
+        help="degraded action when a slot solve fails",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="slot-solve retries before falling back",
+    )
+    p.add_argument(
+        "--slot-period-s", type=float, default=0.0, metavar="S",
+        help="wall-clock pacing per slot (0 = free-running)",
+    )
+    p.add_argument(
+        "--signal-timeout-s", type=float, default=0.0, metavar="S",
+        help="staleness budget waiting for a slot's frame (0 = one poll)",
+    )
+    p.add_argument(
+        "--poll-interval-s", type=float, default=0.05, metavar="S",
+        help="sleep between feed polls while waiting",
+    )
+    p.add_argument(
+        "--solve-deadline-ms", type=float, default=None, metavar="MS",
+        help="wall-clock budget per slot solve (anytime cut on expiry)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe checkpoints, the resume manifest, and the "
+        "frame journal here",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint cadence in slots",
+    )
+    p.add_argument(
+        "--checkpoint-keep", type=int, default=3, metavar="K",
+        help="checkpoints retained in the rotation",
+    )
+    p.add_argument(
+        "--status-port", type=int, default=None, metavar="PORT",
+        help="serve GET /status and /healthz on 127.0.0.1:PORT (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--status-port-file", default=None, metavar="FILE",
+        help="write the bound status port to FILE (ephemeral-port discovery)",
+    )
+    p.add_argument(
+        "--dashboard-out", default=None, metavar="FILE",
+        help="re-render a live HTML dashboard to FILE",
+    )
+    p.add_argument(
+        "--dashboard-every", type=int, default=0, metavar="N",
+        help="slots between dashboard re-renders (0 = disabled)",
+    )
+    p.add_argument(
+        "--alert-rearm", type=int, default=None, metavar="W",
+        help="re-announce a persisting alert every W slots (default: once)",
+    )
+    p.add_argument(
+        "--max-slots", type=int, default=None, metavar="N",
+        help="stop (with a checkpoint) after N slots; smoke-test aid",
+    )
+    p.add_argument(
+        "--source-seed", type=int, default=0,
+        help="delivery seed for --source synthetic",
+    )
+    p.add_argument(
+        "--p-drop", type=float, default=0.02,
+        help="synthetic: probability a slot's frame is never delivered",
+    )
+    p.add_argument(
+        "--p-late", type=float, default=0.1,
+        help="synthetic: probability a frame needs an extra poll",
+    )
+    p.add_argument(
+        "--p-field-loss", type=float, default=0.02,
+        help="synthetic: per-field omission probability",
+    )
+    p.add_argument(
+        "--p-swap", type=float, default=0.05,
+        help="synthetic: probability adjacent frames swap delivery order",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the newest valid checkpoint in --checkpoint-dir",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate the service configuration and exit 0 (clean) or 1",
+    )
+    p.add_argument(
+        "--record-out", default=None, metavar="FILE",
+        help="save the final SimulationRecord (.npz) for golden diffs",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when any invariant monitor fails (CI gating)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

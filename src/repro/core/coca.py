@@ -196,6 +196,19 @@ class COCA(Controller):
                 queue=self.queue.length,
             )
 
+    # ------------------------------------------------------------ serving
+    def status_dict(self) -> dict:
+        """The deficit-queue view ``repro serve`` exposes at ``/status``."""
+        return {
+            "name": self.name(),
+            "queue_mwh": float(self.queue.length),
+            "v": float(self._current_v),
+            "rec_per_slot_mwh": float(self.queue.rec_per_slot),
+            "frame": int(max(self._frame_started, 0)),
+            "frame_length": int(self.effective_frame_length),
+            "slots_decided": len(self.v_history),
+        }
+
     # -------------------------------------------------------- checkpointing
     def state_dict(self) -> dict:
         """Everything Algorithm 1 carries across slots, checkpoint-ready."""

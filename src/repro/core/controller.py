@@ -119,6 +119,17 @@ class Controller(ABC):
         the solver's ``deadline_ms``.
         """
 
+    # -- serving hooks (see repro.serve) -------------------------------
+    def status_dict(self) -> dict:
+        """Live operational state for the ``repro serve`` status endpoint.
+
+        Unlike :meth:`state_dict` (complete, restorable, bit-exact), this
+        is a small human-oriented snapshot -- queue depths, applied
+        parameters -- refreshed every slot and served as JSON.  The default
+        (stateless controllers) has nothing to report.
+        """
+        return {}
+
     def name(self) -> str:
         """Identifier used in reports and tables."""
         return type(self).__name__

@@ -154,6 +154,57 @@ class FaultInjector:
             )
 
     # ------------------------------------------------------------------
+    def inject_signal(
+        self,
+        field: str,
+        mode: str,
+        *,
+        t: int,
+        duration: int = 1,
+        origin: str = "runtime",
+    ) -> None:
+        """Activate a signal fault *now*, outside the declarative schedule.
+
+        The serving loop's staleness policy calls this when a live feed
+        loses an observation: a late/missing signal is exactly a ``signal``
+        fault, so it degrades through :meth:`degrade_observation` -- same
+        last-clean semantics, same ``fault.signal`` telemetry, same monitor
+        visibility -- instead of growing a parallel degradation path.
+
+        Call it *before* the slot's :meth:`begin_slot`: the fault stays
+        active through slot ``t + duration - 1`` (``begin_slot`` expires
+        entries at their first slot past the window, matching scheduled
+        signal events).
+        """
+        from .schedule import SIGNAL_FIELDS, SIGNAL_MODES
+
+        if field not in SIGNAL_FIELDS:
+            raise ValueError(
+                f"signal field must be one of {SIGNAL_FIELDS}, got {field!r}"
+            )
+        if mode not in SIGNAL_MODES:
+            raise ValueError(
+                f"signal mode must be one of {SIGNAL_MODES}, got {mode!r}"
+            )
+        if duration < 1:
+            raise ValueError("signal fault duration must be >= 1 slot")
+        self._active_signals[field] = (mode, int(t) + int(duration))
+        self.injected += 1
+        self.by_kind["signal"] = self.by_kind.get("signal", 0) + 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "fault.inject",
+                t=int(t),
+                fault="signal",
+                field=field,
+                mode=mode,
+                duration=int(duration),
+                origin=origin,
+                failed_groups=sorted(self.failed_groups),
+            )
+            self.telemetry.metrics.counter("fault.injected").inc()
+
+    # ------------------------------------------------------------------
     def degrade_observation(self, observation: SlotObservation) -> SlotObservation:
         """The controller's view of slot ``t`` under active signal faults.
 

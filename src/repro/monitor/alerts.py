@@ -136,6 +136,15 @@ class AlertChannel:
     min_severity:
         Alerts below this severity are counted but not dispatched to
         sinks; they still appear in :attr:`alerts`.
+    dedup_window:
+        Re-arming window in slots.  The default (``None``) keeps the
+        historical batch behaviour: one dispatch per key, ever -- right
+        for a finite run whose alert log is read at the end.  A
+        forever-running service wants the condition *re-announced* when it
+        persists or recurs: with a window of ``W``, a repeat whose slot is
+        at least ``W`` past the last *dispatched* occurrence is sent to
+        the sinks again (still folded into the same :class:`Alert`;
+        :attr:`Alert.count` keeps the true occurrence total).
     """
 
     def __init__(
@@ -143,11 +152,17 @@ class AlertChannel:
         sinks: Iterable[Callable[[Alert], None]] = (),
         *,
         min_severity: str = "info",
+        dedup_window: int | None = None,
     ) -> None:
         _rank(min_severity)
+        if dedup_window is not None and dedup_window < 1:
+            raise ValueError("dedup_window must be >= 1 slot (or None)")
         self.sinks = list(sinks)
         self.min_severity = min_severity
+        self.dedup_window = dedup_window
         self._by_key: dict[str, Alert] = {}
+        #: key -> slot of the most recent sink dispatch (re-arming state).
+        self._dispatched_at: dict[str, int | None] = {}
 
     # ------------------------------------------------------------------
     def raise_alert(
@@ -177,12 +192,28 @@ class AlertChannel:
             # severity it ever reached.
             if _rank(alert.severity) > _rank(existing.severity):
                 existing.severity = alert.severity
+            if self._rearmed(existing.key, t) and self._dispatchable(existing):
+                self._dispatch(existing, t)
             return existing
         self._by_key[alert.key] = alert
-        if _rank(alert.severity) >= _rank(self.min_severity):
-            for sink in self.sinks:
-                sink(alert)
+        if self._dispatchable(alert):
+            self._dispatch(alert, t)
         return alert
+
+    def _dispatchable(self, alert: Alert) -> bool:
+        return _rank(alert.severity) >= _rank(self.min_severity)
+
+    def _rearmed(self, key: str, t: int | None) -> bool:
+        """Whether a repeat at slot ``t`` should be re-dispatched."""
+        if self.dedup_window is None or t is None:
+            return False
+        last = self._dispatched_at.get(key)
+        return last is None or t - last >= self.dedup_window
+
+    def _dispatch(self, alert: Alert, t: int | None) -> None:
+        self._dispatched_at[alert.key] = t
+        for sink in self.sinks:
+            sink(alert)
 
     # ------------------------------------------------------------------
     @property

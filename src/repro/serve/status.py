@@ -1,0 +1,105 @@
+"""The service's status endpoint: a thread-safe board plus an HTTP view.
+
+:class:`StatusBoard` is the single source of truth the control loop updates
+once per slot (cheap: one dict swap under a lock).  :class:`StatusServer`
+is a stdlib ``ThreadingHTTPServer`` on a daemon thread serving the board as
+JSON -- ``GET /status`` for the full snapshot, ``GET /healthz`` for
+liveness probes -- so an operator can watch a long-running ``repro serve``
+without touching its stdout or its trace file.
+
+The HTTP thread only ever *reads* the board; nothing in the serving loop
+blocks on a slow client, and a service run with the endpoint disabled has
+no thread at all.  Schema documented in ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..telemetry.tracer import sanitize_json_value
+
+__all__ = ["StatusBoard", "StatusServer"]
+
+
+class StatusBoard:
+    """Mutable snapshot of a running service, safe to read from any thread."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._data: dict = {"state": "starting", "slot": 0}
+
+    def update(self, **fields) -> None:
+        """Merge ``fields`` into the snapshot."""
+        with self._lock:
+            self._data.update(fields)
+
+    def snapshot(self) -> dict:
+        """A consistent copy of the current snapshot."""
+        with self._lock:
+            return dict(self._data)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Serves the board; silent (no per-request stderr lines)."""
+
+    board: StatusBoard  # injected by StatusServer via a subclass attribute
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        if path in ("/status", "/"):
+            body = json.dumps(
+                sanitize_json_value(self.board.snapshot()), indent=2
+            ).encode()
+            self._respond(200, body)
+        elif path == "/healthz":
+            state = self.board.snapshot().get("state", "unknown")
+            code = 200 if state in ("starting", "running", "stopping") else 503
+            self._respond(code, json.dumps({"state": state}).encode())
+        else:
+            self._respond(404, b'{"error": "not found"}')
+
+    def _respond(self, code: int, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # probes every few seconds would otherwise spam stderr
+
+
+class StatusServer:
+    """Background HTTP server exposing a :class:`StatusBoard`.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    construction (and write it somewhere discoverable, e.g. the CLI's
+    ``--status-port-file``) to find it.
+    """
+
+    def __init__(self, board: StatusBoard, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("BoundHandler", (_Handler,), {"board": board})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-status",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and join the thread; idempotent."""
+        if self._thread.is_alive():
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()

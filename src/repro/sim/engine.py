@@ -14,6 +14,14 @@ mirroring the paper's information structure:
 3. realized power, costs, brown energy, and switching energy are billed;
 4. the controller observes the outcome, including the off-site supply
    ``f(t)`` realized only now (COCA updates its deficit queue here).
+
+The per-slot arithmetic lives in :class:`SlotRunner` so two drivers can
+share it verbatim: :func:`simulate` (the offline batch loop, which owns the
+whole horizon up front) and the :mod:`repro.serve` control service (which
+feeds slots one at a time as live signals arrive).  Anything the batch path
+computes, the serving path computes through the *same* code, which is what
+makes ``repro serve --source replay`` bit-identical to ``repro run`` by
+construction rather than by testing alone.
 """
 
 from __future__ import annotations
@@ -40,7 +48,23 @@ from ..telemetry import Telemetry, coerce
 from .environment import Environment
 from .metrics import SimulationRecord
 
-__all__ = ["simulate", "realize_action"]
+__all__ = ["simulate", "realize_action", "SlotRunner"]
+
+#: Per-slot record columns every run accumulates (checkpoint layout).
+RECORD_COLUMNS = (
+    "it_power",
+    "facility_power",
+    "brown_energy",
+    "electricity_cost",
+    "delay_cost",
+    "cost",
+    "switching_energy",
+    "arrival_predicted",
+    "arrival_actual",
+    "served",
+    "dropped",
+    "active_servers",
+)
 
 
 def realize_action(
@@ -160,6 +184,314 @@ def _decide_degraded(
     return solution, reason
 
 
+class SlotRunner:
+    """The per-slot execution core, one slot per :meth:`step` call.
+
+    Owns everything :func:`simulate` used to hold in local variables: the
+    record columns, the previous on-set, the last realized action, the
+    injector/degradation wiring, and the checkpoint capture.  Drivers differ
+    only in *when* they call :meth:`step` -- the batch loop sweeps the whole
+    horizon as fast as it can, the control service paces real time and may
+    stop early on a shutdown signal -- so both produce identical arithmetic
+    for identical inputs.
+
+    Construction binds telemetry and the solve deadline, :meth:`start` emits
+    the run-level context and calls ``controller.start``, then an optional
+    :meth:`restore` positions the runner mid-horizon from a checkpoint.
+    After the final slot, :meth:`finish` emits the end-of-run events and
+    assembles the :class:`SimulationRecord`.
+    """
+
+    def __init__(
+        self,
+        model: DataCenterModel,
+        controller: Controller,
+        environment: Environment,
+        *,
+        telemetry: Telemetry | None = None,
+        faults=None,
+        degradation=None,
+        checkpoint: CheckpointWriter | None = None,
+        solve_deadline_ms: float | None = None,
+    ) -> None:
+        self.model = model
+        self.controller = controller
+        self.environment = environment
+        self.horizon = environment.horizon
+        self.tele = coerce(telemetry)
+        bind = getattr(controller, "bind_telemetry", None)
+        if bind is not None:
+            bind(self.tele)
+        if solve_deadline_ms is not None:
+            controller.set_solve_deadline(solve_deadline_ms)
+        self.solve_deadline_ms = solve_deadline_ms
+        self.checkpoint = checkpoint
+        if checkpoint is not None:
+            checkpoint.bind_telemetry(self.tele)
+
+        self.injector = None
+        self.policy = None
+        if faults is not None:
+            from ..faults import DegradationPolicy, FaultInjector, FaultSchedule
+
+            if isinstance(faults, FaultSchedule):
+                self.injector = FaultInjector(
+                    faults, num_groups=model.fleet.num_groups
+                )
+            else:
+                self.injector = faults
+                if self.injector.num_groups is None:
+                    self.injector.num_groups = model.fleet.num_groups
+            self.injector.bind_telemetry(self.tele)
+            self.injector.install(controller)
+            self.policy = (
+                degradation if degradation is not None else DegradationPolicy()
+            )
+
+        self.cols: dict[str, list[float]] = {name: [] for name in RECORD_COLUMNS}
+        self.prev_on: np.ndarray | None = None
+        self.last_realized: FleetAction | None = None
+        self.start_slot = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Emit the run-level context and let the controller initialize."""
+        if self.tele.enabled:
+            # Run-level context: monitors calibrate their bounds (capacity,
+            # worst-case facility draw) from this event instead of guessing.
+            self.tele.emit(
+                "run.start",
+                controller=self.controller.name(),
+                horizon=self.horizon,
+                num_servers=self.model.fleet.num_servers,
+                capacity=self.model.fleet.capacity(self.model.gamma),
+                max_facility_power=self.model.max_facility_power,
+            )
+        self.controller.start(self.environment)
+
+    # ------------------------------------------------------------------
+    def restore(self, resume_from: Checkpoint) -> int:
+        """Position the runner at a checkpoint; returns the resume slot.
+
+        Validates the checkpoint against this runner's environment
+        (fingerprint), horizon, and controller identity before restoring
+        anything, raising :class:`CheckpointError` on any mismatch.
+        """
+        state = resume_from.state
+        env_crc = environment_fingerprint(self.environment)
+        if int(state.get("env_crc", -1)) != env_crc:
+            raise CheckpointError(
+                "checkpoint was taken against a different environment "
+                "(input-trace fingerprint mismatch); resuming would "
+                "silently break bit-identity"
+            )
+        if int(state["horizon"]) != self.horizon:
+            raise CheckpointError(
+                f"checkpoint horizon {state['horizon']} != environment "
+                f"horizon {self.horizon}"
+            )
+        if state["controller"]["name"] != self.controller.name():
+            raise CheckpointError(
+                f"checkpoint belongs to controller "
+                f"{state['controller']['name']!r}, not {self.controller.name()!r}"
+            )
+        self.start_slot = int(resume_from.slot)
+        for name, values in state["cols"].items():
+            self.cols[name] = [float(x) for x in values]
+        if any(len(v) != self.start_slot for v in self.cols.values()):
+            raise CheckpointError("checkpoint column lengths disagree with slot")
+        self.prev_on = decode_array(state["prev_on"])
+        self.last_realized = decode_action(state["last_realized"])
+        self.controller.load_state_dict(state["controller"]["state"])
+        if self.injector is not None and state.get("injector") is not None:
+            self.injector.load_state_dict(state["injector"])
+        if self.policy is not None and state.get("degradation") is not None:
+            self.policy.load_state_dict(state["degradation"])
+        if self.tele.enabled:
+            self.tele.emit(
+                "state.resume",
+                slot=self.start_slot,
+                horizon=self.horizon,
+                path=resume_from.path,
+                controller=self.controller.name(),
+            )
+            self.tele.metrics.counter("state.resumes").inc()
+        return self.start_slot
+
+    # ------------------------------------------------------------------
+    def capture(self, slot: int) -> dict:
+        """A complete, JSON-ready snapshot of the run after ``slot`` slots."""
+        return {
+            "slot": slot,
+            "horizon": self.horizon,
+            "env_crc": environment_fingerprint(self.environment),
+            "controller": {
+                "name": self.controller.name(),
+                "state": self.controller.state_dict(),
+            },
+            "cols": {k: [float(x) for x in v] for k, v in self.cols.items()},
+            "prev_on": encode_array(self.prev_on),
+            "last_realized": encode_action(self.last_realized),
+            "injector": None if self.injector is None else self.injector.state_dict(),
+            "degradation": None if self.policy is None else self.policy.state_dict(),
+            "run_id": getattr(getattr(self.tele, "tracer", None), "run_id", None),
+        }
+
+    def checkpoint_now(self, slot: int) -> str | None:
+        """Force a checkpoint at ``slot`` regardless of cadence (shutdown)."""
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.write(slot, self.capture(slot))
+
+    # ------------------------------------------------------------------
+    def step(self, t: int) -> None:
+        """Execute slot ``t``: decide, realize, bill, observe, record."""
+        model = self.model
+        controller = self.controller
+        environment = self.environment
+        tele = self.tele
+        injector = self.injector
+
+        obs = environment.observation(t)
+        if injector is not None:
+            injector.begin_slot(t)
+            obs = injector.degrade_observation(obs)
+            controller.set_failed_groups(frozenset(injector.failed_groups))
+        with tele.timer("sim.solve_time_s") as solve_timer:
+            if injector is None:
+                solution = controller.decide(obs)
+            else:
+                solution, _ = _decide_degraded(
+                    model, controller, obs, self.policy, injector,
+                    self.last_realized, tele,
+                )
+        actual = environment.actual_arrival(t)
+        realized, dropped = realize_action(
+            model,
+            solution.action,
+            actual,
+            obs.arrival_rate,
+            failed_groups=None if injector is None else injector.failed_groups,
+        )
+        if injector is not None:
+            self.last_realized = realized
+        realized_problem = model.slot_problem(
+            arrival_rate=actual,
+            onsite=obs.onsite,
+            price=obs.price,
+            q=0.0,
+            V=1.0,
+            prev_on_counts=self.prev_on,
+            network_delay=obs.network_delay,
+            pue_override=obs.pue,
+        )
+        evaluation = realized_problem.evaluate(realized)
+        self.prev_on = realized.on_counts(model.fleet)
+
+        controller.observe(
+            SlotOutcome(t=t, evaluation=evaluation, offsite=environment.offsite(t))
+        )
+
+        if tele.enabled:
+            if (
+                self.solve_deadline_ms is not None
+                and solve_timer.elapsed * 1000.0 > self.solve_deadline_ms
+            ):
+                tele.emit(
+                    "deadline.slot_overrun",
+                    t=t,
+                    budget_ms=float(self.solve_deadline_ms),
+                    elapsed_ms=solve_timer.elapsed * 1000.0,
+                )
+                tele.metrics.counter("deadline.slot_overruns").inc()
+            tele.emit(
+                "slot.decision",
+                t=t,
+                arrival_predicted=obs.arrival_rate,
+                onsite=obs.onsite,
+                price=obs.price,
+                objective=solution.objective,
+                planned_cost=solution.cost,
+                active_servers=solution.action.active_servers(model.fleet),
+                solve_time_s=solve_timer.elapsed,
+            )
+            tele.emit(
+                "slot.outcome",
+                t=t,
+                cost=evaluation.cost,
+                electricity_cost=evaluation.electricity_cost,
+                delay_cost=evaluation.delay_cost,
+                brown_energy=evaluation.brown_energy,
+                switching_energy=evaluation.switching_energy,
+                arrival_actual=actual,
+                served=realized.served_load(model.fleet),
+                dropped=dropped,
+            )
+            if dropped > 0.0:
+                tele.emit("slot.dropped", t=t, dropped=dropped)
+                tele.metrics.counter("sim.dropped_load").inc(dropped)
+            metrics = tele.metrics
+            metrics.counter("sim.slots").inc()
+            metrics.counter("sim.cost_dollars").inc(evaluation.cost)
+            metrics.counter("sim.brown_energy_mwh").inc(evaluation.brown_energy)
+            metrics.gauge("sim.brown_energy_rate").set(evaluation.brown_energy)
+
+        cols = self.cols
+        cols["it_power"].append(evaluation.it_power)
+        cols["facility_power"].append(evaluation.facility_power)
+        cols["brown_energy"].append(evaluation.brown_energy)
+        cols["electricity_cost"].append(evaluation.electricity_cost)
+        cols["delay_cost"].append(evaluation.delay_cost)
+        cols["cost"].append(evaluation.cost)
+        cols["switching_energy"].append(evaluation.switching_energy)
+        cols["arrival_predicted"].append(obs.arrival_rate)
+        cols["arrival_actual"].append(actual)
+        cols["served"].append(realized.served_load(model.fleet))
+        cols["dropped"].append(dropped)
+        cols["active_servers"].append(realized.active_servers(model.fleet))
+
+        if self.checkpoint is not None:
+            self.checkpoint.maybe_write(t + 1, lambda: self.capture(t + 1))
+
+    # ------------------------------------------------------------------
+    def finish(self) -> SimulationRecord:
+        """Emit end-of-run events and assemble the record."""
+        injector, policy, tele = self.injector, self.policy, self.tele
+        cols = self.cols
+        if injector is not None and tele.enabled:
+            tele.emit(
+                "fault.summary",
+                **injector.summary(),
+                degradation=policy.stats(),
+            )
+        if tele.enabled:
+            tele.emit(
+                "run.end",
+                controller=self.controller.name(),
+                slots=self.horizon,
+                cost=float(sum(cols["cost"])),
+                brown_energy=float(sum(cols["brown_energy"])),
+                dropped=float(sum(cols["dropped"])),
+            )
+
+        arrays = {k: np.asarray(v, dtype=np.float64) for k, v in cols.items()}
+        controller = self.controller
+        environment = self.environment
+        queue = np.asarray(
+            getattr(controller, "queue_at_decision", []), dtype=np.float64
+        )
+        v_applied = np.asarray(getattr(controller, "v_history", []), dtype=np.float64)
+        return SimulationRecord(
+            controller=controller.name(),
+            onsite=environment.portfolio.onsite.values.copy(),
+            offsite=environment.portfolio.offsite.values.copy(),
+            price=environment.price.values.copy(),
+            queue=queue,
+            v_applied=v_applied,
+            **arrays,
+        )
+
+
 def simulate(
     model: DataCenterModel,
     controller: Controller,
@@ -214,250 +546,21 @@ def simulate(
     run down (so a crash harness can kill it mid-horizon) without touching
     any arithmetic or RNG; results stay bit-identical.
     """
-    J = environment.horizon
-    tele = coerce(telemetry)
-    bind = getattr(controller, "bind_telemetry", None)
-    if bind is not None:
-        bind(tele)
-    if solve_deadline_ms is not None:
-        controller.set_solve_deadline(solve_deadline_ms)
-    if checkpoint is not None:
-        checkpoint.bind_telemetry(tele)
-
-    injector = None
-    policy = None
-    if faults is not None:
-        from ..faults import DegradationPolicy, FaultInjector, FaultSchedule
-
-        if isinstance(faults, FaultSchedule):
-            injector = FaultInjector(faults, num_groups=model.fleet.num_groups)
-        else:
-            injector = faults
-            if injector.num_groups is None:
-                injector.num_groups = model.fleet.num_groups
-        injector.bind_telemetry(tele)
-        injector.install(controller)
-        policy = degradation if degradation is not None else DegradationPolicy()
-    if tele.enabled:
-        # Run-level context: monitors calibrate their bounds (capacity,
-        # worst-case facility draw) from this event instead of guessing.
-        tele.emit(
-            "run.start",
-            controller=controller.name(),
-            horizon=J,
-            num_servers=model.fleet.num_servers,
-            capacity=model.fleet.capacity(model.gamma),
-            max_facility_power=model.max_facility_power,
-        )
-    controller.start(environment)
-
-    cols: dict[str, list[float]] = {
-        name: []
-        for name in (
-            "it_power",
-            "facility_power",
-            "brown_energy",
-            "electricity_cost",
-            "delay_cost",
-            "cost",
-            "switching_energy",
-            "arrival_predicted",
-            "arrival_actual",
-            "served",
-            "dropped",
-            "active_servers",
-        )
-    }
-    prev_on: np.ndarray | None = None
-    last_realized: FleetAction | None = None
-    start_slot = 0
-
+    runner = SlotRunner(
+        model,
+        controller,
+        environment,
+        telemetry=telemetry,
+        faults=faults,
+        degradation=degradation,
+        checkpoint=checkpoint,
+        solve_deadline_ms=solve_deadline_ms,
+    )
+    runner.start()
     if resume_from is not None:
-        state = resume_from.state
-        env_crc = environment_fingerprint(environment)
-        if int(state.get("env_crc", -1)) != env_crc:
-            raise CheckpointError(
-                "checkpoint was taken against a different environment "
-                "(input-trace fingerprint mismatch); resuming would "
-                "silently break bit-identity"
-            )
-        if int(state["horizon"]) != J:
-            raise CheckpointError(
-                f"checkpoint horizon {state['horizon']} != environment "
-                f"horizon {J}"
-            )
-        if state["controller"]["name"] != controller.name():
-            raise CheckpointError(
-                f"checkpoint belongs to controller "
-                f"{state['controller']['name']!r}, not {controller.name()!r}"
-            )
-        start_slot = int(resume_from.slot)
-        for name, values in state["cols"].items():
-            cols[name] = [float(x) for x in values]
-        if any(len(v) != start_slot for v in cols.values()):
-            raise CheckpointError("checkpoint column lengths disagree with slot")
-        prev_on = decode_array(state["prev_on"])
-        last_realized = decode_action(state["last_realized"])
-        controller.load_state_dict(state["controller"]["state"])
-        if injector is not None and state.get("injector") is not None:
-            injector.load_state_dict(state["injector"])
-        if policy is not None and state.get("degradation") is not None:
-            policy.load_state_dict(state["degradation"])
-        if tele.enabled:
-            tele.emit(
-                "state.resume",
-                slot=start_slot,
-                horizon=J,
-                path=resume_from.path,
-                controller=controller.name(),
-            )
-            tele.metrics.counter("state.resumes").inc()
-
-    def _capture(slot: int) -> dict:
-        """A complete, JSON-ready snapshot of the run after ``slot`` slots."""
-        return {
-            "slot": slot,
-            "horizon": J,
-            "env_crc": environment_fingerprint(environment),
-            "controller": {
-                "name": controller.name(),
-                "state": controller.state_dict(),
-            },
-            "cols": {k: [float(x) for x in v] for k, v in cols.items()},
-            "prev_on": encode_array(prev_on),
-            "last_realized": encode_action(last_realized),
-            "injector": None if injector is None else injector.state_dict(),
-            "degradation": None if policy is None else policy.state_dict(),
-            "run_id": getattr(getattr(tele, "tracer", None), "run_id", None),
-        }
-
-    for t in range(start_slot, J):
-        obs = environment.observation(t)
-        if injector is not None:
-            injector.begin_slot(t)
-            obs = injector.degrade_observation(obs)
-            controller.set_failed_groups(frozenset(injector.failed_groups))
-        with tele.timer("sim.solve_time_s") as solve_timer:
-            if injector is None:
-                solution = controller.decide(obs)
-            else:
-                solution, _ = _decide_degraded(
-                    model, controller, obs, policy, injector, last_realized, tele
-                )
-        actual = environment.actual_arrival(t)
-        realized, dropped = realize_action(
-            model,
-            solution.action,
-            actual,
-            obs.arrival_rate,
-            failed_groups=None if injector is None else injector.failed_groups,
-        )
-        if injector is not None:
-            last_realized = realized
-        realized_problem = model.slot_problem(
-            arrival_rate=actual,
-            onsite=obs.onsite,
-            price=obs.price,
-            q=0.0,
-            V=1.0,
-            prev_on_counts=prev_on,
-            network_delay=obs.network_delay,
-            pue_override=obs.pue,
-        )
-        evaluation = realized_problem.evaluate(realized)
-        prev_on = realized.on_counts(model.fleet)
-
-        controller.observe(
-            SlotOutcome(t=t, evaluation=evaluation, offsite=environment.offsite(t))
-        )
-
-        if tele.enabled:
-            if (
-                solve_deadline_ms is not None
-                and solve_timer.elapsed * 1000.0 > solve_deadline_ms
-            ):
-                tele.emit(
-                    "deadline.slot_overrun",
-                    t=t,
-                    budget_ms=float(solve_deadline_ms),
-                    elapsed_ms=solve_timer.elapsed * 1000.0,
-                )
-                tele.metrics.counter("deadline.slot_overruns").inc()
-            tele.emit(
-                "slot.decision",
-                t=t,
-                arrival_predicted=obs.arrival_rate,
-                onsite=obs.onsite,
-                price=obs.price,
-                objective=solution.objective,
-                planned_cost=solution.cost,
-                active_servers=solution.action.active_servers(model.fleet),
-                solve_time_s=solve_timer.elapsed,
-            )
-            tele.emit(
-                "slot.outcome",
-                t=t,
-                cost=evaluation.cost,
-                electricity_cost=evaluation.electricity_cost,
-                delay_cost=evaluation.delay_cost,
-                brown_energy=evaluation.brown_energy,
-                switching_energy=evaluation.switching_energy,
-                arrival_actual=actual,
-                served=realized.served_load(model.fleet),
-                dropped=dropped,
-            )
-            if dropped > 0.0:
-                tele.emit("slot.dropped", t=t, dropped=dropped)
-                tele.metrics.counter("sim.dropped_load").inc(dropped)
-            metrics = tele.metrics
-            metrics.counter("sim.slots").inc()
-            metrics.counter("sim.cost_dollars").inc(evaluation.cost)
-            metrics.counter("sim.brown_energy_mwh").inc(evaluation.brown_energy)
-            metrics.gauge("sim.brown_energy_rate").set(evaluation.brown_energy)
-
-        cols["it_power"].append(evaluation.it_power)
-        cols["facility_power"].append(evaluation.facility_power)
-        cols["brown_energy"].append(evaluation.brown_energy)
-        cols["electricity_cost"].append(evaluation.electricity_cost)
-        cols["delay_cost"].append(evaluation.delay_cost)
-        cols["cost"].append(evaluation.cost)
-        cols["switching_energy"].append(evaluation.switching_energy)
-        cols["arrival_predicted"].append(obs.arrival_rate)
-        cols["arrival_actual"].append(actual)
-        cols["served"].append(realized.served_load(model.fleet))
-        cols["dropped"].append(dropped)
-        cols["active_servers"].append(realized.active_servers(model.fleet))
-
-        if checkpoint is not None:
-            checkpoint.maybe_write(t + 1, lambda: _capture(t + 1))
+        runner.restore(resume_from)
+    for t in range(runner.start_slot, runner.horizon):
+        runner.step(t)
         if slot_sleep_s > 0.0:
             time.sleep(slot_sleep_s)
-
-    if injector is not None and tele.enabled:
-        tele.emit(
-            "fault.summary",
-            **injector.summary(),
-            degradation=policy.stats(),
-        )
-    if tele.enabled:
-        tele.emit(
-            "run.end",
-            controller=controller.name(),
-            slots=J,
-            cost=float(sum(cols["cost"])),
-            brown_energy=float(sum(cols["brown_energy"])),
-            dropped=float(sum(cols["dropped"])),
-        )
-
-    arrays = {k: np.asarray(v, dtype=np.float64) for k, v in cols.items()}
-    queue = np.asarray(getattr(controller, "queue_at_decision", []), dtype=np.float64)
-    v_applied = np.asarray(getattr(controller, "v_history", []), dtype=np.float64)
-    return SimulationRecord(
-        controller=controller.name(),
-        onsite=environment.portfolio.onsite.values.copy(),
-        offsite=environment.portfolio.offsite.values.copy(),
-        price=environment.price.values.copy(),
-        queue=queue,
-        v_applied=v_applied,
-        **arrays,
-    )
+    return runner.finish()

@@ -122,7 +122,15 @@ def environment_fingerprint(environment) -> int:
     The fingerprint is cheap (one pass over four float64 arrays) and
     rebuilt deterministically from the scenario arguments, so a resume can
     refuse a mismatched world up front.
+
+    Environments that know their own identity better than their trace
+    arrays do -- e.g. :class:`repro.serve.LiveEnvironment`, whose "traces"
+    are a growing prefix of resolved feed frames -- expose a
+    ``fingerprint()`` method, which wins over the generic trace walk.
     """
+    fingerprint = getattr(environment, "fingerprint", None)
+    if callable(fingerprint):
+        return int(fingerprint())
     crc = zlib.crc32(str(environment.horizon).encode())
     for values in (
         environment.workload.values,

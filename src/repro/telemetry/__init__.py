@@ -35,6 +35,7 @@ from .tracer import (
     InMemoryTracer,
     JsonlTracer,
     NullTracer,
+    RingBufferTracer,
     Tracer,
     new_run_id,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "NullTracer",
     "InMemoryTracer",
     "JsonlTracer",
+    "RingBufferTracer",
     "NULL_TRACER",
     "Counter",
     "Gauge",

@@ -45,21 +45,34 @@ _SNAPSHOT_COLUMNS = (
 )
 
 
-def read_jsonl_events(path: str) -> list[dict]:
-    """Load a JSONL trace written by :class:`~repro.telemetry.tracer.JsonlTracer`."""
+def read_jsonl_events(path: str, *, tolerate_torn_tail: bool = False) -> list[dict]:
+    """Load a JSONL trace written by :class:`~repro.telemetry.tracer.JsonlTracer`.
+
+    ``tolerate_torn_tail`` accepts a trace whose *final* line is truncated
+    or unparseable -- the signature of reading a ``.part`` file while (or
+    after) a writer was killed mid-append -- by dropping that line.  Invalid
+    lines anywhere else still raise: those are corruption, not liveness.
+    """
     events: list[dict] = []
     with open(path) as fh:
-        for line_no, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: invalid JSONL event") from exc
+        lines = fh.readlines()
+    last_line_no = len(lines)
+    for line_no, line in enumerate(lines, 1):
+        is_tail = line_no == last_line_no and (
+            not line.endswith("\n") or tolerate_torn_tail
+        )
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
             if not isinstance(event, dict) or "kind" not in event:
-                raise ValueError(f"{path}:{line_no}: event must be a dict with a 'kind'")
-            events.append(event)
+                raise ValueError("event must be a dict with a 'kind'")
+        except (json.JSONDecodeError, ValueError) as exc:
+            if tolerate_torn_tail and is_tail:
+                break  # a writer was mid-append; the prefix is the trace
+            raise ValueError(f"{path}:{line_no}: invalid JSONL event") from exc
+        events.append(event)
     return events
 
 
@@ -71,12 +84,25 @@ def load_trace(path: str) -> list[dict]:
     is not valid JSONL, or contains events stamped with a schema version
     newer than this build understands.  Pre-``schema_version`` traces
     (schema 1, written before the field existed) are accepted.
+
+    A ``.part`` path -- the in-progress stream of a still-running (or
+    killed) run -- is read with a tolerated torn tail, so operators can
+    inspect a live service.  When ``path`` itself is missing but a
+    ``.part`` sibling exists, the error says so instead of a bare
+    not-found: the run just has not committed its trace yet.
     """
     path = str(path)
+    in_progress = path.endswith(".part")
     if not os.path.exists(path):
-        raise TraceError(f"trace file not found: {path}")
+        hint = ""
+        if not in_progress and os.path.exists(path + ".part"):
+            hint = (
+                f"\nhint: {path}.part exists -- the run is still in progress "
+                f"(or was killed); read the live stream with: {path}.part"
+            )
+        raise TraceError(f"trace file not found: {path}{hint}")
     try:
-        events = read_jsonl_events(path)
+        events = read_jsonl_events(path, tolerate_torn_tail=in_progress)
     except OSError as exc:
         raise TraceError(f"cannot read trace {path}: {exc}") from exc
     except ValueError as exc:

@@ -41,6 +41,7 @@ __all__ = [
     "NullTracer",
     "InMemoryTracer",
     "JsonlTracer",
+    "RingBufferTracer",
     "NULL_TRACER",
     "new_run_id",
     "sanitize_json_value",
@@ -171,6 +172,42 @@ class InMemoryTracer(Tracer):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class RingBufferTracer(Tracer):
+    """Keeps the newest ``maxlen`` events, optionally forwarding everything.
+
+    A forever-running service cannot hold its whole event stream in memory
+    the way :class:`InMemoryTracer` does, but live dashboard renders still
+    need a window of recent events.  This tracer keeps a bounded deque and
+    forwards every event (unbounded, to disk) to an optional ``inner``
+    sink, so the ring can sit in the middle of a tracer chain.
+    """
+
+    def __init__(self, maxlen: int = 4096, *, inner: Tracer | None = None,
+                 run_id: str | None = None) -> None:
+        from collections import deque
+
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.events: "deque[dict]" = deque(maxlen=maxlen)
+        self.inner = inner if inner is not None else NULL_TRACER
+        self.count = 0
+
+    def emit(self, kind: str, /, **fields) -> None:
+        event = {"kind": kind, "schema_version": SCHEMA_VERSION, "run_id": self.run_id}
+        event.update(fields)
+        self.emit_event(event)
+
+    def emit_event(self, event: dict) -> None:
+        self.events.append(event)
+        self.count += 1
+        if self.inner.enabled:
+            self.inner.emit_event(event)
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class JsonlTracer(Tracer):

@@ -6,7 +6,14 @@ equivalents documented module-by-module; see DESIGN.md section 2.
 """
 
 from .base import HOURS_PER_DAY, HOURS_PER_WEEK, HOURS_PER_YEAR, Trace
-from .io import load_traces, save_traces, trace_from_csv, trace_to_csv
+from .io import (
+    append_jsonl_rows,
+    iter_jsonl_rows,
+    load_traces,
+    save_traces,
+    trace_from_csv,
+    trace_to_csv,
+)
 from .forecast import (
     EWMA,
     Forecaster,
@@ -24,6 +31,8 @@ from .workload_msr import msr_week, msr_workload
 
 __all__ = [
     "Trace",
+    "append_jsonl_rows",
+    "iter_jsonl_rows",
     "HOURS_PER_DAY",
     "HOURS_PER_WEEK",
     "HOURS_PER_YEAR",

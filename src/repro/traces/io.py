@@ -10,13 +10,21 @@ per row).
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
 
 from .base import Trace
 
-__all__ = ["save_traces", "load_traces", "trace_to_csv", "trace_from_csv"]
+__all__ = [
+    "save_traces",
+    "load_traces",
+    "trace_to_csv",
+    "trace_from_csv",
+    "append_jsonl_rows",
+    "iter_jsonl_rows",
+]
 
 
 def save_traces(path: str | pathlib.Path, **traces: Trace) -> None:
@@ -45,6 +53,39 @@ def load_traces(path: str | pathlib.Path) -> dict[str, Trace]:
                 data[f"{key}__values"], name=str(meta[0]), unit=str(meta[1])
             )
         return out
+
+
+def append_jsonl_rows(
+    path: str | pathlib.Path, rows: list[dict], *, truncate: bool = False
+) -> None:
+    """Append ``rows`` to a JSONL file, one object per line, flushed.
+
+    The producer side of a live signal feed (``repro serve --source
+    file``): each row lands as one complete line, so a tailing consumer
+    never parses a torn record.  ``truncate`` starts the file over.
+    """
+    path = pathlib.Path(path)
+    with path.open("w" if truncate else "a") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+        fh.flush()
+
+
+def iter_jsonl_rows(path: str | pathlib.Path):
+    """Yield the complete rows of a JSONL file, tolerating a torn tail.
+
+    The read-at-rest counterpart of :func:`append_jsonl_rows` -- a final
+    line without its newline (a producer killed mid-append) is skipped,
+    matching the tailing reader's behaviour.
+    """
+    with pathlib.Path(path).open() as fh:
+        for line in fh:
+            if not line.endswith("\n"):
+                return
+            line = line.strip()
+            if line:
+                yield json.loads(line)
 
 
 def trace_to_csv(trace: Trace, path: str | pathlib.Path) -> None:

@@ -101,6 +101,42 @@ class TestAlertChannel:
         with pytest.raises(ValueError, match="severity"):
             channel.raise_alert("catastrophic", "m", "x")
 
+    def test_dedup_window_rearms_after_w_slots(self):
+        seen: list[Alert] = []
+        channel = AlertChannel(sinks=[seen.append], dedup_window=3)
+        for t in range(8):
+            channel.raise_alert("warning", "m", "stuck", t=t, key="k")
+        # Dispatched at t=0, re-armed at t=3 and t=6; folded in between.
+        assert len(seen) == 3
+        (alert,) = channel.alerts
+        assert alert.count == 8  # the true occurrence total is kept
+
+    def test_dedup_window_rearms_on_recurrence_after_quiet_gap(self):
+        seen: list[Alert] = []
+        channel = AlertChannel(sinks=[seen.append], dedup_window=5)
+        channel.raise_alert("warning", "m", "x", t=2, key="k")
+        channel.raise_alert("warning", "m", "x", t=4, key="k")  # within window
+        channel.raise_alert("warning", "m", "x", t=40, key="k")  # long quiet gap
+        assert len(seen) == 2
+
+    def test_dedup_window_ignores_untimed_repeats(self):
+        seen: list[Alert] = []
+        channel = AlertChannel(sinks=[seen.append], dedup_window=1)
+        channel.raise_alert("warning", "m", "x", t=0, key="k")
+        channel.raise_alert("warning", "m", "x", key="k")  # no slot: never re-arms
+        assert len(seen) == 1
+
+    def test_no_window_keeps_one_dispatch_ever(self):
+        seen: list[Alert] = []
+        channel = AlertChannel(sinks=[seen.append])
+        for t in range(0, 1000, 100):
+            channel.raise_alert("warning", "m", "x", t=t, key="k")
+        assert len(seen) == 1  # historical batch behaviour is the default
+
+    def test_dedup_window_validated(self):
+        with pytest.raises(ValueError, match="dedup_window"):
+            AlertChannel(dedup_window=0)
+
     def test_jsonl_sink_writes_dedup_lines(self, tmp_path):
         path = tmp_path / "alerts.jsonl"
         sink = JsonlAlertSink(str(path))

@@ -1,0 +1,459 @@
+"""Tests for the serving subsystem (``repro.serve``).
+
+The load-bearing contract is stated in ``docs/SERVING.md``: a replay serve
+is **bit-identical** to the batch run, whether it runs uninterrupted or is
+stopped at an arbitrary slot boundary and resumed -- both through the
+in-process service API and through the ``repro serve`` CLI.  The rest of
+this file covers the pieces individually: signal sources, the live
+environment, the frame journal, config validation, the status endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import EXIT_BAD_INPUT, MANIFEST_NAME, main
+from repro.core.coca import COCA
+from repro.scenarios import small_scenario
+from repro.serve import (
+    JOURNAL_NAME,
+    ControlService,
+    FileTailSignalSource,
+    FrameJournal,
+    LiveEnvironment,
+    ReplaySignalSource,
+    ServeConfig,
+    SignalFrame,
+    StalenessResolver,
+    StatusBoard,
+    StatusServer,
+    SyntheticSignalSource,
+    frames_from_environment,
+    write_feed,
+)
+from repro.sim import simulate
+from repro.sim.engine import SlotRunner
+from repro.state import (
+    CheckpointWriter,
+    environment_fingerprint,
+    latest_valid_checkpoint,
+    record_mismatches,
+)
+
+V = 150.0
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """Two-day small scenario -- fast enough to simulate many times."""
+    return small_scenario(horizon=48, seed=5)
+
+
+def _controller(scenario):
+    return COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=V,
+        alpha=scenario.alpha,
+    )
+
+
+def _batch_record(scenario):
+    return simulate(scenario.model, _controller(scenario), scenario.environment)
+
+
+def _replay_service(scenario, *, checkpoint_dir=None, max_slots=None):
+    environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
+    writer = (
+        CheckpointWriter(str(checkpoint_dir), every=1) if checkpoint_dir else None
+    )
+    runner = SlotRunner(
+        scenario.model, _controller(scenario), environment, checkpoint=writer
+    )
+    resolver = StalenessResolver(ReplaySignalSource(scenario.environment))
+    runner.start()
+    journal = (
+        FrameJournal(str(checkpoint_dir / JOURNAL_NAME)) if checkpoint_dir else None
+    )
+    return ControlService(runner, resolver, journal=journal, max_slots=max_slots)
+
+
+# ---------------------------------------------------------------- frames
+class TestSignalFrame:
+    def test_round_trips_through_dict(self):
+        frame = SignalFrame(
+            slot=3, arrival=1.5, onsite=0.2, price=40.0,
+            arrival_actual=1.6, offsite=0.1,
+        )
+        assert SignalFrame.from_dict(frame.to_dict()) == frame
+
+    def test_to_dict_drops_missing_fields(self):
+        frame = SignalFrame(slot=0, arrival=1.0)
+        d = frame.to_dict()
+        assert "price" not in d and "onsite" not in d
+        assert SignalFrame.from_dict(d).missing_fields == (
+            "onsite", "price", "arrival_actual", "offsite",
+        )
+
+    def test_from_dict_ignores_unknown_keys(self):
+        frame = SignalFrame.from_dict({"slot": 1, "price": 2.0, "exchange": "PJM"})
+        assert frame.slot == 1 and frame.price == 2.0
+
+    def test_complete_frame_has_no_missing_fields(self, scenario):
+        frame = next(frames_from_environment(scenario.environment))
+        assert frame.missing_fields == ()
+
+
+# ---------------------------------------------------------------- sources
+class TestReplaySource:
+    def test_delivers_every_slot_in_order(self, scenario):
+        source = ReplaySignalSource(scenario.environment)
+        slots = []
+        while (frame := source.poll()) is not None:
+            assert frame.missing_fields == ()
+            slots.append(frame.slot)
+        assert slots == list(range(scenario.horizon))
+        assert source.horizon == scenario.horizon
+
+    def test_seek_repositions(self, scenario):
+        source = ReplaySignalSource(scenario.environment)
+        source.seek(10)
+        assert source.poll().slot == 10
+        with pytest.raises(ValueError):
+            source.seek(scenario.horizon + 1)
+
+
+class TestFileTailSource:
+    def test_reads_back_a_written_feed(self, scenario, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        n = write_feed(scenario.environment, path)
+        assert n == scenario.horizon
+        source = FileTailSignalSource(path)
+        frames = []
+        while (frame := source.poll()) is not None:
+            frames.append(frame)
+        assert [f.slot for f in frames] == list(range(scenario.horizon))
+        assert frames == list(frames_from_environment(scenario.environment))
+        source.close()
+
+    def test_torn_tail_is_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('{"slot": 0, "price": 1.0}\n{"slot": 1, "pri')
+        source = FileTailSignalSource(path)
+        assert source.poll().slot == 0
+        assert source.poll() is None  # torn line: not parsed, not lost
+        with path.open("a") as fh:
+            fh.write('ce": 2.0}\n')
+        frame = source.poll()
+        assert frame.slot == 1 and frame.price == 2.0
+        source.close()
+
+    def test_malformed_complete_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        path.write_text('not json\n{"slot": 0}\n{"noslot": 1}\n')
+        source = FileTailSignalSource(path)
+        assert source.poll().slot == 0
+        assert source.poll() is None
+        assert source.malformed == 2 and source.delivered == 1
+        source.close()
+
+    def test_seek_skips_earlier_slots(self, scenario, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(scenario.environment, path)
+        source = FileTailSignalSource(path)
+        for _ in range(5):
+            source.poll()
+        source.seek(2)
+        assert source.poll().slot == 2
+        source.close()
+
+
+class TestSyntheticSource:
+    def test_same_seed_same_delivery(self, scenario):
+        a = SyntheticSignalSource(scenario.environment, seed=9)
+        b = SyntheticSignalSource(scenario.environment, seed=9)
+        seq_a = [a.poll() for _ in range(2 * scenario.horizon)]
+        seq_b = [b.poll() for _ in range(2 * scenario.horizon)]
+        assert seq_a == seq_b
+
+    def test_perfect_probabilities_reduce_to_replay(self, scenario):
+        source = SyntheticSignalSource(
+            scenario.environment, seed=9,
+            p_drop=0.0, p_late=0.0, p_field_loss=0.0, p_swap=0.0,
+        )
+        frames = [source.poll() for _ in range(scenario.horizon)]
+        assert frames == list(frames_from_environment(scenario.environment))
+        assert source.dropped == 0
+
+    def test_drops_never_deliver(self, scenario):
+        source = SyntheticSignalSource(
+            scenario.environment, seed=9, p_drop=1.0,
+            p_late=0.0, p_field_loss=0.0, p_swap=0.0,
+        )
+        assert source.poll() is None
+        assert source.dropped == scenario.horizon
+
+    def test_rejects_bad_probability(self, scenario):
+        with pytest.raises(ValueError, match="p_drop"):
+            SyntheticSignalSource(scenario.environment, seed=1, p_drop=1.5)
+
+
+# ---------------------------------------------------------------- live env
+class TestLiveEnvironment:
+    def test_append_must_be_contiguous_and_resolved(self, scenario):
+        env = LiveEnvironment(4)
+        frames = list(frames_from_environment(scenario.environment))
+        with pytest.raises(ValueError, match="out of order"):
+            env.append(frames[1])
+        env.append(frames[0])
+        with pytest.raises(ValueError, match="unresolved"):
+            env.append(SignalFrame(slot=1, price=1.0))
+
+    def test_reads_past_resolved_prefix_raise(self, scenario):
+        env = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        with pytest.raises(IndexError):
+            env.observation(0)
+        env.append(next(frames_from_environment(scenario.environment)))
+        obs = env.observation(0)
+        batch_obs = scenario.environment.observation(0)
+        assert obs == batch_obs  # bit-identical floats, not approximately
+
+    def test_base_fingerprint_matches_batch_environment(self, scenario):
+        env = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        assert environment_fingerprint(env) == environment_fingerprint(
+            scenario.environment
+        )
+
+    def test_live_fingerprint_is_prefix_function(self, scenario):
+        frames = list(frames_from_environment(scenario.environment))
+        a = LiveEnvironment(scenario.horizon)
+        b = LiveEnvironment(scenario.horizon)
+        for f in frames[:5]:
+            a.append(f)
+            b.append(f)
+        assert a.fingerprint() == b.fingerprint()
+        before = a.fingerprint()
+        a.append(frames[5])
+        assert a.fingerprint() != before
+
+
+class TestFrameJournal:
+    def test_round_trips_and_truncates(self, scenario, tmp_path):
+        path = str(tmp_path / "frames.jsonl")
+        frames = list(frames_from_environment(scenario.environment))[:6]
+        journal = FrameJournal(path)
+        for f in frames:
+            journal.append(f)
+        journal.close()
+        assert FrameJournal.load(path) == frames
+        assert FrameJournal.load(path, upto=3) == frames[:3]
+        FrameJournal.truncate(path, frames[:3])
+        assert FrameJournal.load(path) == frames[:3]
+
+    def test_torn_tail_is_dropped(self, scenario, tmp_path):
+        path = tmp_path / "frames.jsonl"
+        frames = list(frames_from_environment(scenario.environment))[:2]
+        lines = [json.dumps(f.to_dict()) for f in frames]
+        path.write_text(lines[0] + "\n" + lines[1][:10])
+        assert FrameJournal.load(str(path)) == frames[:1]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert FrameJournal.load(str(tmp_path / "absent.jsonl")) == []
+
+
+# ---------------------------------------------------------------- config
+class TestServeConfig:
+    def test_defaults_are_clean(self):
+        assert ServeConfig().problems() == []
+
+    def test_collects_every_problem_at_once(self, tmp_path):
+        config = ServeConfig(
+            source="file",  # no feed given
+            slot_period_s=-1.0,
+            checkpoint_every=0,
+            status_port=70000,
+            dashboard_every=5,  # no dashboard_out
+            alert_rearm=0,
+            max_slots=0,
+            retries=-1,
+            synthetic={"p_drop": 2.0},
+        )
+        problems = config.problems()
+        assert len(problems) >= 8
+        joined = "\n".join(problems)
+        for needle in ("--feed", "--slot-period-s", "--checkpoint-every",
+                       "--status-port", "--dashboard-every", "--alert-rearm",
+                       "--max-slots", "--retries", "p_drop"):
+            assert needle in joined
+
+    def test_feed_only_for_file_source(self, tmp_path):
+        feed = tmp_path / "feed.jsonl"
+        feed.write_text("")
+        config = ServeConfig(source="replay", feed=str(feed))
+        assert any("--feed only applies" in p for p in config.problems())
+
+    def test_unwritable_checkpoint_parent(self):
+        config = ServeConfig(checkpoint_dir="/nonexistent/deep/dir")
+        assert any("checkpoint dir" in p for p in config.problems())
+
+    def test_describe_mentions_source(self):
+        assert "source=replay" in ServeConfig().describe()
+
+
+# ---------------------------------------------------------------- status
+class TestStatusEndpoint:
+    def test_board_merges_and_snapshots(self):
+        board = StatusBoard()
+        board.update(slot=4, state="running")
+        board.update(slot=5)
+        snap = board.snapshot()
+        assert snap["slot"] == 5 and snap["state"] == "running"
+        snap["slot"] = 99  # copies are detached
+        assert board.snapshot()["slot"] == 5
+
+    def test_http_status_and_healthz(self):
+        board = StatusBoard()
+        board.update(state="running", slot=7, horizon=48)
+        server = StatusServer(board, port=0)
+        try:
+            with urllib.request.urlopen(f"{server.url}/status") as resp:
+                body = json.load(resp)
+            assert body["slot"] == 7 and body["state"] == "running"
+            with urllib.request.urlopen(f"{server.url}/healthz") as resp:
+                assert resp.status == 200
+            board.update(state="stopped")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/healthz")
+            assert err.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+
+# ------------------------------------------------------------ bit-identity
+class TestReplayBitIdentity:
+    def test_uninterrupted_serve_matches_batch(self, scenario):
+        batch = _batch_record(scenario)
+        result = _replay_service(scenario).run()
+        assert result.status == "completed"
+        assert record_mismatches(batch, result.record) == []
+
+    def test_stop_and_resume_matches_batch(self, scenario, tmp_path):
+        batch = _batch_record(scenario)
+        stopped = _replay_service(
+            scenario, checkpoint_dir=tmp_path, max_slots=19
+        ).run()
+        assert stopped.status == "stopped" and stopped.stopped_at == 19
+        assert stopped.checkpoint_path is not None
+
+        ckpt = latest_valid_checkpoint(str(tmp_path))
+        assert ckpt is not None and ckpt.slot == 19
+        environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        for frame in FrameJournal.load(str(tmp_path / JOURNAL_NAME), upto=19):
+            environment.append(frame)
+        runner = SlotRunner(scenario.model, _controller(scenario), environment)
+        source = ReplaySignalSource(scenario.environment)
+        resolver = StalenessResolver(source)
+        runner.start()
+        runner.restore(ckpt)
+        source.seek(19)
+        resolver.restore(environment.frames[-1])
+        result = ControlService(runner, resolver).run()
+        assert result.status == "completed"
+        assert record_mismatches(batch, result.record) == []
+
+    def test_replay_checkpoint_is_resumable_by_batch_engine(
+        self, scenario, tmp_path
+    ):
+        """Serve checkpoints are interchangeable with `repro run` ones."""
+        batch = _batch_record(scenario)
+        _replay_service(scenario, checkpoint_dir=tmp_path, max_slots=11).run()
+        ckpt = latest_valid_checkpoint(str(tmp_path))
+        record = simulate(
+            scenario.model,
+            _controller(scenario),
+            scenario.environment,  # the plain batch environment
+            resume_from=ckpt,
+        )
+        assert record_mismatches(batch, record) == []
+
+
+# ------------------------------------------------------------------- CLI
+class TestServeCli:
+    def test_dry_run_clean_config(self, capsys):
+        assert main(["serve", "--dry-run"]) == 0
+        assert "config ok" in capsys.readouterr().out
+
+    def test_dry_run_reports_problems(self, capsys):
+        assert main(["serve", "--dry-run", "--source", "file"]) == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert "--feed" in err and "problem(s)" in err
+
+    def test_bad_config_refused_without_dry_run(self, capsys):
+        assert main(["serve", "--source", "file"]) == EXIT_BAD_INPUT
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["serve", "--resume"]) == EXIT_BAD_INPUT
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_without_manifest_is_bad_input(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--resume", "--checkpoint-dir", str(tmp_path)]
+        )
+        assert code == EXIT_BAD_INPUT
+        assert MANIFEST_NAME in capsys.readouterr().err
+
+    def test_replay_serve_cli_matches_batch_run(self, tmp_path, capsys):
+        batch_out = tmp_path / "batch.npz"
+        serve_out = tmp_path / "serve.npz"
+        args = ["--horizon", "36", "--seed", "4"]
+        assert main(["run", *args, "--record-out", str(batch_out)]) == 0
+        assert (
+            main(
+                [
+                    "serve", "--source", "replay", *args,
+                    "--checkpoint-dir", str(tmp_path / "ckpt"),
+                    "--record-out", str(serve_out),
+                ]
+            )
+            == 0
+        )
+        from repro.state import load_record
+
+        assert record_mismatches(
+            load_record(str(batch_out)), load_record(str(serve_out))
+        ) == []
+
+    def test_cli_stop_resume_round_trip(self, tmp_path, capsys):
+        args = ["--horizon", "36", "--seed", "4"]
+        ckpt_dir = str(tmp_path / "ckpt")
+        batch_out = tmp_path / "batch.npz"
+        serve_out = tmp_path / "serve.npz"
+        assert main(["run", *args, "--record-out", str(batch_out)]) == 0
+        # max-slots stops with a forced checkpoint but exits 0 (no signal).
+        assert (
+            main(
+                ["serve", "--source", "replay", *args,
+                 "--checkpoint-dir", ckpt_dir, "--max-slots", "13"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stopped at slot 13/36" in out
+        assert (
+            main(
+                ["serve", "--resume", "--checkpoint-dir", ckpt_dir,
+                 "--record-out", str(serve_out)]
+            )
+            == 0
+        )
+        from repro.state import load_record
+
+        assert record_mismatches(
+            load_record(str(batch_out)), load_record(str(serve_out))
+        ) == []

@@ -321,6 +321,51 @@ class TestLoadTrace:
         assert event["run_id"] == tracer.run_id
 
 
+class TestInProgressTraces:
+    """Reading the ``.part`` stream of a still-running (or killed) run."""
+
+    def _torn_part(self, tmp_path):
+        path = tmp_path / "run.jsonl.part"
+        path.write_text(
+            '{"kind": "slot.outcome", "t": 0}\n'
+            '{"kind": "slot.outcome", "t": 1}\n'
+            '{"kind": "slot.outc'  # writer killed mid-append
+        )
+        return path
+
+    def test_torn_tail_tolerated_on_request(self, tmp_path):
+        path = self._torn_part(tmp_path)
+        events = read_jsonl_events(path, tolerate_torn_tail=True)
+        assert [e["t"] for e in events] == [0, 1]
+        with pytest.raises(ValueError):  # strict mode still refuses
+            read_jsonl_events(path)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl.part"
+        path.write_text('{"kind": "a"}\ngarbage\n{"kind": "b"}\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_jsonl_events(path, tolerate_torn_tail=True)
+
+    def test_load_trace_reads_part_with_torn_tail(self, tmp_path):
+        events = load_trace(str(self._torn_part(tmp_path)))
+        assert [e["t"] for e in events] == [0, 1]
+
+    def test_missing_committed_path_hints_at_part_sibling(self, tmp_path):
+        self._torn_part(tmp_path)
+        with pytest.raises(TraceError, match=r"hint: .*run\.jsonl\.part"):
+            load_trace(str(tmp_path / "run.jsonl"))
+
+    def test_cli_consumers_read_part_traces(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._torn_part(tmp_path)
+        assert main(["telemetry", str(path)]) == 0
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", "--trace", str(path), "-o", str(out)]) == 0
+        assert out.exists()
+        capsys.readouterr()
+
+
 class TestSummary:
     def test_trace_summary_tables(self, week_scenario):
         telemetry = Telemetry.recording()
