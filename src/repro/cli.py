@@ -14,6 +14,8 @@ report         full markdown scenario report
 traces         summarize any of the synthetic trace generators
 telemetry      summarize a JSONL event trace written by ``--trace-out``
 dashboard      offline HTML health report (monitors + charts) from a trace
+profile        sampling flamegraph of a COCA run with span attribution
+bench          run benchmark suites; append rows to the trend ledger
 chaos          COCA under seeded fault injection (failures, lossy messaging)
 run            checkpointed long-horizon run (crash-safe, resumable)
 resume         continue a killed ``run`` from its newest valid checkpoint
@@ -289,7 +291,7 @@ def _cmd_telemetry(args) -> int:
     events = _load_trace_or_fail("telemetry", args.trace)
     if events is None:
         return EXIT_BAD_INPUT
-    print(render_trace_summary(events, title=args.trace))
+    print(render_trace_summary(events, title=args.trace, spans=args.spans))
     return 0
 
 
@@ -318,6 +320,155 @@ def _cmd_dashboard(args) -> int:
                 )
         return EXIT_MONITOR_CRITICAL
     return 0
+
+
+def _cmd_profile(args) -> int:
+    import os
+
+    from .core.coca import COCA
+    from .profile import StackSampler, write_flamegraph, write_folded
+    from .sim import simulate
+    from .solvers import GSDSolver
+    from .telemetry import InMemoryTracer, JsonlTracer, Telemetry, write_metrics
+
+    scenario = _build_scenario(args)
+    solver = None
+    if args.solver == "gsd":
+        solver = GSDSolver(
+            iterations=args.iterations,
+            rng=np.random.default_rng(args.solver_seed),
+        )
+    controller = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=args.v,
+        alpha=scenario.alpha,
+        solver=solver,
+    )
+    # The sampler prefixes stacks with the live span path, which only
+    # exists under an enabled tracer -- so the profiled run always gets
+    # one; --trace-out decides whether the events also land on disk.
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else InMemoryTracer()
+    telemetry = Telemetry(tracer=tracer)
+    sampler = StackSampler(interval_ms=args.interval_ms, telemetry=telemetry)
+    with sampler:
+        record = simulate(
+            scenario.model, controller, scenario.environment, telemetry=telemetry
+        )
+    if args.trace_out:
+        tracer.close()
+        print(f"trace written to {args.trace_out} ({tracer.count} events)")
+    if args.metrics_out:
+        write_metrics(telemetry.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+
+    folded = sampler.folded()
+    os.makedirs(args.out_dir, exist_ok=True)
+    folded_path = os.path.join(args.out_dir, "profile.folded")
+    html_path = os.path.join(args.out_dir, "profile.html")
+    write_folded(folded, folded_path)
+    title = (
+        f"repro profile: {args.scale} scenario, "
+        f"{scenario.horizon} slots, solver={args.solver}"
+    )
+    write_flamegraph(folded, html_path, title=title)
+
+    _print_run_summary(record)
+    total = sampler.total_samples
+    print(
+        f"\n{total} samples over {sampler.duration_s:.2f} s profiled "
+        f"({args.interval_ms:g} ms period); top {args.top} frames by self time:"
+    )
+    for frame, count in sampler.hotspots(args.top):
+        print(f"  {count:>7}  {100.0 * count / total:5.1f}%  {frame}")
+    print(f"folded stacks written to {folded_path}")
+    print(f"flame view written to {html_path}")
+    if total == 0:
+        print(
+            "repro profile: no samples collected -- raise --horizon or "
+            "lower --interval-ms",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from datetime import datetime, timezone
+
+    from .profile import (
+        append_row,
+        check_rows,
+        discover_benches,
+        git_revision,
+        load_rows,
+        make_row,
+        run_suite,
+    )
+
+    suites = discover_benches(args.bench_dir)
+    if not suites:
+        print(
+            f"repro bench: no bench_*.py found under {args.bench_dir}",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+    if args.list:
+        for name, suite in sorted(suites.items()):
+            tag = "runnable" if suite.runnable else "figure driver (not runnable)"
+            print(f"{name:24s} {tag}")
+        return 0
+    if args.suites:
+        bad = [
+            n for n in args.suites if n not in suites or not suites[n].runnable
+        ]
+        if bad:
+            print(
+                f"repro bench: not a runnable suite: {', '.join(bad)} "
+                "(see `repro bench --list`)",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        selected = [suites[n] for n in args.suites]
+    else:
+        selected = [s for _, s in sorted(suites.items()) if s.runnable]
+
+    history = load_rows(args.ledger)
+    rev = git_revision()
+    timestamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    fresh = []
+    for suite in selected:
+        print(
+            f"running {suite.name} [{' '.join(suite.default_args) or 'defaults'}]",
+            flush=True,
+        )
+        result = run_suite(suite, out_dir=args.out_dir)
+        row = make_row(result, git_rev=rev, timestamp=timestamp)
+        fresh.append(row)
+        print(
+            f"  exit {result.exit_code}, wall {result.wall_s:.2f} s, "
+            f"{len(row['metrics'])} metrics"
+        )
+    if not args.no_append:
+        for row in fresh:
+            append_row(args.ledger, row)
+        print(f"{len(fresh)} row(s) appended to {args.ledger}")
+
+    rc = 0
+    if args.check:
+        ok, messages = check_rows(history, fresh, tolerance=args.tolerance)
+        for message in messages:
+            print(f"  {message}")
+        if ok:
+            print("repro bench: check passed")
+        else:
+            print("repro bench: REGRESSION detected", file=sys.stderr)
+            rc = EXIT_BAD_INPUT
+    if any(row["exit_code"] != 0 for row in fresh):
+        # A suite's own contract failed (overhead budget, bit-identity, ...)
+        # even without --check; never report success over that.
+        rc = rc or EXIT_BAD_INPUT
+    return rc
 
 
 def _load_schedule_or_fail(command: str, path: str):
@@ -877,7 +1028,13 @@ def _cmd_serve(args) -> int:
         atomic_write_text,
         latest_valid_checkpoint,
     )
-    from .telemetry import JsonlTracer, RingBufferTracer, Telemetry, write_metrics
+    from .telemetry import (
+        JsonlTracer,
+        MetricsRegistry,
+        RingBufferTracer,
+        Telemetry,
+        write_metrics,
+    )
 
     config = _serve_config(args)
 
@@ -977,7 +1134,14 @@ def _cmd_serve(args) -> int:
     if config.dashboard_every:
         ring = RingBufferTracer(inner=file_tracer)
         tap_inner = ring
-    telemetry = Telemetry(tracer=MonitoringTracer(suite, tap_inner))
+    # Serve runs indefinitely, so histograms default to a bounded seeded
+    # reservoir instead of append-forever raw lists (percentiles exact
+    # until the reservoir fills, uniformly sampled after).
+    reservoir = args.metrics_reservoir if args.metrics_reservoir > 0 else None
+    telemetry = Telemetry(
+        tracer=MonitoringTracer(suite, tap_inner),
+        metrics=MetricsRegistry(reservoir=reservoir),
+    )
 
     writer = journal = None
     journal_path = None
@@ -1060,8 +1224,11 @@ def _cmd_serve(args) -> int:
     board = StatusBoard()
     server = None
     if config.status_port is not None:
-        server = StatusServer(board, port=config.status_port)
+        server = StatusServer(
+            board, port=config.status_port, registry=telemetry.metrics
+        )
         print(f"status endpoint at {server.url}/status")
+        print(f"metrics endpoint at {server.url}/metrics")
         if config.status_port_file:
             atomic_write_text(config.status_port_file, f"{server.port}\n")
 
@@ -1254,6 +1421,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("telemetry", help="summarize a JSONL event trace")
     _add_telemetry_args(p)
     p.add_argument("trace", help="path to a trace written with --trace-out")
+    p.add_argument(
+        "--spans",
+        action="store_true",
+        help="append the span hotspot tree (schema v3 traces; older traces "
+        "report no span events)",
+    )
     p.set_defaults(func=_cmd_telemetry)
 
     p = sub.add_parser(
@@ -1272,6 +1445,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when any invariant monitor fails (CI gating)",
     )
     p.set_defaults(func=_cmd_dashboard)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile a COCA run: sampling flamegraph with span attribution",
+    )
+    _add_scenario_args(p)
+    _add_telemetry_args(p)
+    p.add_argument("--v", type=float, default=150.0, help="fixed V for the run")
+    p.add_argument(
+        "--solver",
+        choices=["auto", "gsd"],
+        default="auto",
+        help="P3 engine under the profiler (auto = exact enumeration)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=200,
+        help="iterations per solve for --solver gsd",
+    )
+    p.add_argument(
+        "--solver-seed", type=int, default=7,
+        help="RNG seed for the stochastic solvers",
+    )
+    p.add_argument(
+        "--interval-ms", type=float, default=2.0, metavar="MS",
+        help="sampling period on the profile clock",
+    )
+    p.add_argument(
+        "--out-dir", "-o", default="profile", metavar="DIR",
+        help="write profile.folded and profile.html here",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="hotspot frames printed to the console",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="run benchmark suites; append rows to the trend ledger",
+    )
+    p.add_argument(
+        "suites", nargs="*", metavar="SUITE",
+        help="suite names (default: every runnable suite; see --list)",
+    )
+    p.add_argument(
+        "--bench-dir", default="benchmarks", metavar="DIR",
+        help="directory scanned for bench_*.py suites",
+    )
+    p.add_argument(
+        "--ledger", default="benchmarks/results/trend.jsonl", metavar="FILE",
+        help="JSONL trend ledger to append to and check against",
+    )
+    p.add_argument(
+        # Not benchmarks/results: ledger runs use shortened suite args
+        # (--quick, fewer repeats), and writing there would clobber the
+        # committed full-run references CI checks against.
+        "--out-dir", default="benchmarks/results/latest", metavar="DIR",
+        help="where suites write their BENCH_<suite>.json reports",
+    )
+    p.add_argument(
+        "--list", action="store_true",
+        help="list discovered suites (runnable or not) and exit",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when a gated counter regressed vs the previous "
+        "ledger row for the same suite",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.20, metavar="FRAC",
+        help="relative growth allowed on gated counters with --check",
+    )
+    p.add_argument(
+        "--no-append", action="store_true",
+        help="run (and optionally check) without writing ledger rows",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "chaos", help="COCA under seeded fault injection (chaos run)"
@@ -1444,7 +1694,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--status-port", type=int, default=None, metavar="PORT",
-        help="serve GET /status and /healthz on 127.0.0.1:PORT (0 = ephemeral)",
+        help="serve GET /status, /healthz, and Prometheus /metrics on "
+        "127.0.0.1:PORT (0 = ephemeral)",
+    )
+    p.add_argument(
+        "--metrics-reservoir", type=int, default=8192, metavar="N",
+        help="bound each latency histogram to a seeded N-sample reservoir "
+        "(exact until N observations; 0 = unbounded raw lists)",
     )
     p.add_argument(
         "--status-port-file", default=None, metavar="FILE",

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import NULL_TELEMETRY, Telemetry, coerce
 from .controller import GeoEnvironment
 
 __all__ = ["GeoRecord", "simulate_geo"]
@@ -54,12 +55,29 @@ class GeoRecord:
         )
 
 
-def simulate_geo(controller, environment: GeoEnvironment) -> GeoRecord:
+def simulate_geo(
+    controller,
+    environment: GeoEnvironment,
+    *,
+    telemetry: Telemetry | None = None,
+) -> GeoRecord:
     """Run a geo controller over the full period.
 
     The controller must expose ``decide(t) -> DispatchResult`` and
     ``observe(t, result)`` (see :class:`~repro.geo.controller.GeoCOCA`).
+
+    ``telemetry`` roots each slot in a ``geo.slot`` attribution span so the
+    controller's ``geo.dispatch_time_s`` timer (and any per-site solver
+    spans beneath it) nest under the slot.  When omitted, the controller's
+    own bound telemetry is used, so instrumented :class:`GeoCOCA` runs gain
+    span structure without any call-site change; runs with no telemetry at
+    all stay bit-identical.
     """
+    tele = (
+        coerce(telemetry)
+        if telemetry is not None
+        else getattr(controller, "telemetry", NULL_TELEMETRY)
+    )
     J = environment.horizon
     S = len(environment.sites)
     shares = np.empty((J, S))
@@ -70,16 +88,17 @@ def simulate_geo(controller, environment: GeoEnvironment) -> GeoRecord:
     queue = np.zeros(J)
 
     for t in range(J):
-        q_now = getattr(controller, "queue", None)
-        queue[t] = q_now.length if q_now is not None else 0.0
-        result = controller.decide(t)
-        shares[t] = result.shares
-        for i, sol in enumerate(result.solutions):
-            brown[t, i] = sol.evaluation.brown_energy
-            cost[t, i] = sol.cost
-            e_cost[t, i] = sol.evaluation.electricity_cost
-            d_cost[t, i] = sol.evaluation.delay_cost
-        controller.observe(t, result)
+        with tele.span("geo.slot", t=t):
+            q_now = getattr(controller, "queue", None)
+            queue[t] = q_now.length if q_now is not None else 0.0
+            result = controller.decide(t)
+            shares[t] = result.shares
+            for i, sol in enumerate(result.solutions):
+                brown[t, i] = sol.evaluation.brown_energy
+                cost[t, i] = sol.cost
+                e_cost[t, i] = sol.evaluation.electricity_cost
+                d_cost[t, i] = sol.evaluation.delay_cost
+            controller.observe(t, result)
 
     return GeoRecord(
         controller=controller.name(),

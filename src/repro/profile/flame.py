@@ -1,0 +1,148 @@
+"""Flamegraph export: folded stacks to files and a self-contained HTML view.
+
+Two artifacts from one :meth:`StackSampler.folded` dict:
+
+- ``write_folded`` -- the canonical collapsed-stack text format
+  (``frame;frame;frame count`` per line), consumable by ``flamegraph.pl``,
+  speedscope, and friends.
+- ``write_flamegraph`` / ``flamegraph_html`` -- a dependency-free HTML
+  icicle view (root on top, children below, width proportional to sample
+  weight).  Pure inline HTML/CSS -- absolutely positioned ``div`` rows with
+  ``title`` tooltips -- so the file opens anywhere, including straight from
+  a CI artifacts tab, matching the self-contained-dashboard convention from
+  ``repro dashboard``.
+"""
+
+from __future__ import annotations
+
+import html
+import zlib
+
+__all__ = ["write_folded", "flamegraph_html", "write_flamegraph"]
+
+_ROW_PX = 18
+_MIN_WIDTH_PCT = 0.05  # cells narrower than this are noise at any zoom
+
+
+def write_folded(folded: dict[str, int], path: str) -> None:
+    """Write collapsed stacks, heaviest first (ties broken by name)."""
+    lines = [
+        f"{stack} {count}"
+        for stack, count in sorted(folded.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + ("\n" if lines else ""))
+
+
+def _build_tree(folded: dict[str, int]) -> dict:
+    """Nest folded stacks into ``{"value": n, "children": {name: node}}``."""
+    root = {"value": 0, "children": {}}
+    for stack, count in folded.items():
+        root["value"] += count
+        node = root
+        for frame in stack.split(";"):
+            child = node["children"].get(frame)
+            if child is None:
+                child = {"value": 0, "children": {}}
+                node["children"][frame] = child
+            child["value"] += count
+            node = child
+    return root
+
+
+def _color(name: str) -> str:
+    """A stable warm color per frame name (flamegraph convention)."""
+    h = zlib.crc32(name.encode("utf-8"))
+    r = 205 + (h & 0x1F)  # 205-236
+    g = 80 + ((h >> 5) & 0x7F)  # 80-207
+    b = (h >> 12) & 0x37  # 0-55
+    return f"rgb({r},{g},{b})"
+
+
+def _render_node(
+    name: str, node: dict, left: float, width: float, depth: int, total: int,
+    cells: list[str],
+) -> int:
+    """Emit one cell and recurse; returns the deepest row index touched."""
+    pct = 100.0 * node["value"] / total
+    label = html.escape(name, quote=True)
+    cells.append(
+        f'<div class="f" style="left:{left:.4f}%;width:{width:.4f}%;'
+        f"top:{depth * _ROW_PX}px;background:{_color(name)}\" "
+        f'title="{label}&#10;{node["value"]} samples ({pct:.1f}%)">'
+        f"{label}</div>"
+    )
+    deepest = depth
+    child_left = left
+    for child_name, child in sorted(
+        node["children"].items(), key=lambda kv: (-kv[1]["value"], kv[0])
+    ):
+        child_width = width * child["value"] / node["value"] if node["value"] else 0.0
+        if child_width >= _MIN_WIDTH_PCT:
+            deepest = max(
+                deepest,
+                _render_node(
+                    child_name, child, child_left, child_width, depth + 1, total,
+                    cells,
+                ),
+            )
+        child_left += child_width
+    return deepest
+
+
+def flamegraph_html(folded: dict[str, int], *, title: str = "repro profile") -> str:
+    """Self-contained HTML icicle flamegraph of ``folded``."""
+    safe_title = html.escape(title)
+    tree = _build_tree(folded)
+    total = tree["value"]
+    cells: list[str] = []
+    deepest = 0
+    if total:
+        left = 0.0
+        for name, node in sorted(
+            tree["children"].items(), key=lambda kv: (-kv[1]["value"], kv[0])
+        ):
+            width = 100.0 * node["value"] / total
+            deepest = max(deepest, _render_node(name, node, left, width, 0, total, cells))
+            left += width
+    body = (
+        "".join(cells)
+        if cells
+        else '<p class="empty">no samples collected</p>'
+    )
+    height = (deepest + 1) * _ROW_PX if cells else _ROW_PX
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{safe_title}</title>
+<style>
+  body {{ font: 13px/1.4 system-ui, sans-serif; margin: 1.5rem; }}
+  h1 {{ font-size: 1.1rem; }}
+  .meta {{ color: #555; margin-bottom: .75rem; }}
+  .flame {{ position: relative; height: {height}px; width: 100%;
+            border: 1px solid #ccc; background: #fafafa; }}
+  .f {{ position: absolute; height: {_ROW_PX - 2}px; overflow: hidden;
+        white-space: nowrap; text-overflow: ellipsis; font-size: 10px;
+        line-height: {_ROW_PX - 2}px; padding: 0 2px; box-sizing: border-box;
+        border-right: 1px solid rgba(255,255,255,.6); cursor: default; }}
+  .f:hover {{ outline: 1px solid #333; z-index: 1; }}
+  .empty {{ color: #999; padding: .5rem; }}
+</style>
+</head>
+<body>
+<h1>{safe_title}</h1>
+<p class="meta">{total} samples &middot; icicle layout (root on top, width
+&prop; inclusive samples); hover a cell for exact counts.</p>
+<div class="flame">{body}</div>
+</body>
+</html>
+"""
+
+
+def write_flamegraph(
+    folded: dict[str, int], path: str, *, title: str = "repro profile"
+) -> None:
+    """Render :func:`flamegraph_html` to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(flamegraph_html(folded, title=title))

@@ -4,8 +4,10 @@
 once per slot (cheap: one dict swap under a lock).  :class:`StatusServer`
 is a stdlib ``ThreadingHTTPServer`` on a daemon thread serving the board as
 JSON -- ``GET /status`` for the full snapshot, ``GET /healthz`` for
-liveness probes -- so an operator can watch a long-running ``repro serve``
-without touching its stdout or its trace file.
+liveness probes, and (when a :class:`~repro.telemetry.MetricsRegistry` is
+attached) ``GET /metrics`` in Prometheus text exposition format -- so an
+operator or a scraper can watch a long-running ``repro serve`` without
+touching its stdout or its trace file.
 
 The HTTP thread only ever *reads* the board; nothing in the serving loop
 blocks on a slow client, and a service run with the endpoint disabled has
@@ -18,6 +20,8 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from ..telemetry.tracer import sanitize_json_value
 
 __all__ = ["StatusBoard", "StatusServer"]
@@ -45,6 +49,7 @@ class _Handler(BaseHTTPRequestHandler):
     """Serves the board; silent (no per-request stderr lines)."""
 
     board: StatusBoard  # injected by StatusServer via a subclass attribute
+    registry: MetricsRegistry | None  # likewise; None disables /metrics
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = self.path.split("?", 1)[0]
@@ -57,12 +62,20 @@ class _Handler(BaseHTTPRequestHandler):
             state = self.board.snapshot().get("state", "unknown")
             code = 200 if state in ("starting", "running", "stopping") else 503
             self._respond(code, json.dumps({"state": state}).encode())
+        elif path == "/metrics" and self.registry is not None:
+            # The loop thread writes instruments while we render; values may
+            # be one slot apart but each read is of a plain float/list, so
+            # no lock is needed for a consistent-enough scrape.
+            body = render_prometheus(self.registry).encode("utf-8")
+            self._respond(200, body, content_type=PROMETHEUS_CONTENT_TYPE)
         else:
             self._respond(404, b'{"error": "not found"}')
 
-    def _respond(self, code: int, body: bytes) -> None:
+    def _respond(
+        self, code: int, body: bytes, *, content_type: str = "application/json"
+    ) -> None:
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -80,8 +93,10 @@ class StatusServer:
     """
 
     def __init__(self, board: StatusBoard, *, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
-        handler = type("BoundHandler", (_Handler,), {"board": board})
+                 port: int = 0, registry: MetricsRegistry | None = None) -> None:
+        handler = type(
+            "BoundHandler", (_Handler,), {"board": board, "registry": registry}
+        )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self.host = host

@@ -345,7 +345,18 @@ class SlotRunner:
 
     # ------------------------------------------------------------------
     def step(self, t: int) -> None:
-        """Execute slot ``t``: decide, realize, bill, observe, record."""
+        """Execute slot ``t``: decide, realize, bill, observe, record.
+
+        The slot is the root of the attribution tree: the solve timer below
+        (and through it the solver's ``gsd.solve``/``enum.solve`` spans)
+        nests under a ``slot`` span when a tracer is listening.  With
+        telemetry off the span is the shared no-op and the arithmetic is
+        untouched.
+        """
+        with self.tele.span("slot", t=t):
+            self._step(t)
+
+    def _step(self, t: int) -> None:
         model = self.model
         controller = self.controller
         environment = self.environment
@@ -435,6 +446,23 @@ class SlotRunner:
             metrics.counter("sim.cost_dollars").inc(evaluation.cost)
             metrics.counter("sim.brown_energy_mwh").inc(evaluation.brown_energy)
             metrics.gauge("sim.brown_energy_rate").set(evaluation.brown_energy)
+            # Per-slot attribution gauges: a /metrics scrape shows what the
+            # *latest* slot spent and why (cost split, carbon draw, load
+            # fate), alongside the cumulative counters above and the
+            # deficit-queue gauge set by the controller.
+            metrics.gauge("sim.slot").set(t)
+            metrics.gauge("sim.slot_cost_dollars").set(evaluation.cost)
+            metrics.gauge("sim.slot_electricity_cost_dollars").set(
+                evaluation.electricity_cost
+            )
+            metrics.gauge("sim.slot_delay_cost_dollars").set(evaluation.delay_cost)
+            metrics.gauge("sim.slot_brown_energy_mwh").set(evaluation.brown_energy)
+            metrics.gauge("sim.slot_switching_energy_mwh").set(
+                evaluation.switching_energy
+            )
+            metrics.gauge("sim.slot_served_load").set(realized.served_load(model.fleet))
+            metrics.gauge("sim.slot_dropped_load").set(dropped)
+            metrics.gauge("sim.slot_solve_time_s").set(solve_timer.elapsed)
 
         cols = self.cols
         cols["it_power"].append(evaluation.it_power)

@@ -56,14 +56,16 @@ class HomogeneousEnumerationSolver(SlotSolver):
     def solve(self, problem: SlotProblem) -> SlotSolution:
         tele = self.telemetry
         started = time.perf_counter() if tele.enabled else 0.0
-        solution = self._solve(problem)
+        sp = tele.span("enum.solve")
+        with sp:
+            solution = self._solve(problem, sp)
         if tele.enabled:
             elapsed = time.perf_counter() - started
             tele.metrics.histogram("enum.solve_time_s").observe(elapsed)
             tele.metrics.counter("enum.solves").inc()
         return solution
 
-    def _solve(self, problem: SlotProblem) -> SlotSolution:
+    def _solve(self, problem: SlotProblem, sp=None) -> SlotSolution:
         fleet = problem.fleet
         if not fleet.is_homogeneous:
             raise ValueError(
@@ -71,6 +73,7 @@ class HomogeneousEnumerationSolver(SlotSolver):
                 "use CoordinateDescentSolver or GSDSolver instead"
             )
         problem.check_feasible()
+        t_phase = time.perf_counter() if sp else 0.0
 
         profile = fleet.groups[0].profile
         speeds = profile.speeds  # (K,)
@@ -93,6 +96,10 @@ class HomogeneousEnumerationSolver(SlotSolver):
             load[0, :] = 0.0
         if not feasible.any():
             raise InfeasibleError("no (servers-on, speed) candidate can serve the load")
+        if sp:
+            now = time.perf_counter()
+            sp.add("enum.candidates", now - t_phase)
+            t_phase = now
 
         with np.errstate(invalid="ignore"):
             it_power = M * (profile.static_power + dyn_coeff[None, :] * load)
@@ -142,12 +149,18 @@ class HomogeneousEnumerationSolver(SlotSolver):
             objective = np.where(
                 feasible, problem.V * g_cost + problem.q * brown, np.inf
             )
+        if sp:
+            now = time.perf_counter()
+            sp.add("enum.cost_model", now - t_phase)
+            t_phase = now
 
         j, k = np.unravel_index(int(np.argmin(objective)), objective.shape)
         levels = np.where(np.arange(G) < j, k, -1).astype(np.int64)
         per_server = np.where(np.arange(G) < j, load[j, k], 0.0)
         action = FleetAction(levels=levels, per_server_load=per_server)
         evaluation = problem.evaluate(action)
+        if sp:
+            sp.add("enum.finalize", time.perf_counter() - t_phase)
         return SlotSolution(
             action=action,
             evaluation=evaluation,

@@ -241,6 +241,13 @@ class GSDSolver(SlotSolver):
         return evaluation.objective
 
     def solve(self, problem: SlotProblem) -> SlotSolution:
+        # The span wraps the whole solve; ``sp`` is the no-op NULL_SPAN on
+        # uninstrumented runs, so the chain arithmetic below is untouched.
+        sp = self.telemetry.span("gsd.solve")
+        with sp:
+            return self._solve(problem, sp)
+
+    def _solve(self, problem: SlotProblem, sp) -> SlotSolution:
         deadline = SolveDeadline(self.deadline_ms)
         problem.check_feasible()
         fleet = problem.fleet
@@ -260,10 +267,38 @@ class GSDSolver(SlotSolver):
             else None
         )
 
-        def score(lv: np.ndarray) -> float:
-            if cache is not None:
-                return cache.objective_of(lv)
-            return self._objective_of(problem, lv)
+        if sp:
+            # Attribution build of the scorer: classify each candidate
+            # evaluation by what the fast path actually did (stats deltas)
+            # and accumulate its wall time into an aggregated child bucket
+            # -- one summarized span event per bucket at solve exit, never
+            # one per iteration.
+            fp_stats = cache.stats if cache is not None else None
+
+            def score(lv: np.ndarray) -> float:
+                t0 = time.perf_counter()
+                if cache is None:
+                    value = self._objective_of(problem, lv)
+                    bucket = "gsd.inner_bisection"
+                else:
+                    hits0 = fp_stats.cache_hits
+                    screened0 = fp_stats.screened_infeasible
+                    value = cache.objective_of(lv)
+                    if fp_stats.cache_hits > hits0:
+                        bucket = "gsd.cache_lookup"
+                    elif fp_stats.screened_infeasible > screened0:
+                        bucket = "gsd.feasibility_screen"
+                    else:
+                        bucket = "gsd.inner_bisection"
+                sp.add(bucket, time.perf_counter() - t0)
+                return value
+
+        else:
+
+            def score(lv: np.ndarray) -> float:
+                if cache is not None:
+                    return cache.objective_of(lv)
+                return self._objective_of(problem, lv)
 
         if self.initial_levels is not None:
             levels = self.initial_levels.copy()
@@ -421,6 +456,7 @@ class GSDSolver(SlotSolver):
                 "GSD chain never reached a configuration satisfying the "
                 "operational caps; increase iterations or relax the caps"
             )
+        t_final = time.perf_counter() if sp else 0.0
         if cache is not None:
             action, final_evaluation = cache.solution_for(best_levels)
         else:
@@ -429,6 +465,8 @@ class GSDSolver(SlotSolver):
                 levels=best_levels, per_server_load=dist.per_server_load
             )
             final_evaluation = problem.evaluate(action)
+        if sp:
+            sp.add("gsd.finalize", time.perf_counter() - t_final)
         info: dict = {
             "chain_levels": levels.copy(),
             "inner_solves": stats.inner_solves,

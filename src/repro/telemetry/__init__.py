@@ -6,9 +6,13 @@ The subsystem has three layers, bundled by :class:`Telemetry`:
   -- controller decisions, deficit-queue updates, realized outcomes,
   dropped load, GSD iteration summaries -- streamed to memory or JSONL.
 - **Metrics** (:mod:`~repro.telemetry.metrics`): counters, gauges, and
-  exact-percentile histograms in a name-keyed registry.
-- **Profiling** (:mod:`~repro.telemetry.timing`): scoped wall-clock timers
-  wired into the hot paths (P3 solves, the slot loop, geo dispatch).
+  exact-percentile histograms (opt-in bounded reservoirs for long-running
+  services) in a name-keyed registry, renderable as Prometheus text
+  exposition (:mod:`~repro.telemetry.prometheus`).
+- **Profiling** (:mod:`~repro.telemetry.timing`,
+  :mod:`~repro.telemetry.spans`): scoped wall-clock timers wired into the
+  hot paths (P3 solves, the slot loop, geo dispatch), nested into
+  parent-linked attribution spans when one is open.
 
 Everything is opt-in: ``simulate()``, the solvers, and the sweep drivers
 take ``telemetry=None``, and the disabled default (:data:`NULL_TELEMETRY`)
@@ -27,7 +31,9 @@ from .exporters import (
     write_metrics,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .summary import render_trace_summary, trace_summary_tables
+from .prometheus import render_prometheus
+from .spans import NULL_SPAN, Span, SpanStack, SpanTimer
+from .summary import render_trace_summary, span_hotspots, trace_summary_tables
 from .timing import NULL_TIMER, ScopedTimer
 from .tracer import (
     NULL_TRACER,
@@ -60,6 +66,12 @@ __all__ = [
     "MetricsRegistry",
     "ScopedTimer",
     "NULL_TIMER",
+    "Span",
+    "SpanStack",
+    "SpanTimer",
+    "NULL_SPAN",
+    "render_prometheus",
+    "span_hotspots",
     "read_jsonl_events",
     "write_jsonl_events",
     "metrics_to_markdown",

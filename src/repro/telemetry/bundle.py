@@ -17,6 +17,7 @@ then matches serial execution because the parent absorbs in task order.
 from __future__ import annotations
 
 from .metrics import MetricsRegistry
+from .spans import NULL_SPAN, Span, SpanStack, SpanTimer, _NullSpan
 from .timing import NULL_TIMER, ScopedTimer
 from .tracer import NULL_TRACER, InMemoryTracer, Tracer
 
@@ -32,9 +33,16 @@ class Telemetry:
         self,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
+        *,
+        spans: bool = True,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = SpanStack(self.tracer)
+        # ``spans=False`` keeps event tracing while suppressing span
+        # attribution -- the knob bench_span_overhead uses to price spans
+        # alone, available to any caller that wants leaner traces.
+        self._spans_enabled = bool(spans)
 
     @classmethod
     def recording(cls) -> "Telemetry":
@@ -46,9 +54,29 @@ class Telemetry:
         """Forward one event to the tracer."""
         self.tracer.emit(kind, **fields)
 
-    def timer(self, name: str) -> ScopedTimer:
-        """A scoped timer recording into histogram ``name``."""
-        return ScopedTimer(self.metrics.histogram(name))
+    def timer(self, name: str) -> ScopedTimer | SpanTimer:
+        """A scoped timer recording into histogram ``name``.
+
+        When a span is already open (and the tracer is listening), the timer
+        additionally closes the loop on attribution: the same clock pair
+        feeds the histogram *and* the enclosing span's aggregated child
+        bucket, so existing timer call sites nest under slot/solve spans
+        for free.
+        """
+        histogram = self.metrics.histogram(name)
+        if self._spans_enabled and self.tracer.enabled and self.spans._stack:
+            return SpanTimer(histogram, self.spans._stack[-1], name)
+        return ScopedTimer(histogram)
+
+    def span(self, name: str, /, **fields) -> Span | _NullSpan:
+        """Open an attribution span (use as ``with telemetry.span(...)``).
+
+        Returns the shared no-op :data:`NULL_SPAN` when no tracer is
+        listening, so spans cost nothing on metrics-only or disabled runs.
+        """
+        if not self._spans_enabled or not self.tracer.enabled:
+            return NULL_SPAN
+        return self.spans.open(name, fields or None)
 
     @property
     def events(self) -> list[dict]:
@@ -82,6 +110,9 @@ class _NullTelemetry(Telemetry):
 
     def timer(self, name: str):
         return NULL_TIMER
+
+    def span(self, name: str, /, **fields):
+        return NULL_SPAN
 
 
 #: Shared disabled instance; ``coerce(None)`` returns it.

@@ -49,7 +49,10 @@ __all__ = [
 
 #: Trace-format revision stamped on every event.  Bump when the event
 #: schema changes incompatibly; readers reject traces from the future.
-SCHEMA_VERSION = 2
+#: v3 added parent-linked ``span`` events (purely additive: v2 readers of
+#: this codebase never existed, and v3 readers accept v1/v2 traces, which
+#: simply contain no spans).
+SCHEMA_VERSION = 3
 
 
 def new_run_id() -> str:
