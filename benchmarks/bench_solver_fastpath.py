@@ -1,30 +1,41 @@
 """Solver fast-path benchmark (standalone, no pytest needed).
 
-Measures what the per-solve evaluation cache and the warm-started inner
-solves buy on the two hot configurations the harness leans on:
+Measures what the per-solve evaluation cache, the warm-started inner
+solves, and the batched ``(K, G)`` water-filling engine buy on the two hot
+configurations the harness leans on:
 
 - ``gsd_200g_500it``: the paper's Fig. 4 timing claim -- a 500-iteration
   GSD chain over the 200-group paper fleet (slot 1500, no queue);
 - ``cd_hetero``: coordinate descent on a 20-group heterogeneous fleet
   (the engine every mixed-profile experiment uses).
 
-Each case runs in three modes -- ``nofast`` (cache off), ``cache`` and
-``cache_warm`` -- with fixed seeds, so the fast-path counters
-(``cold_solves``, ``warm_solves``, ``cache_hits``, ...) are exactly
+Each case runs in five modes -- ``nofast`` (cache off), ``cache``,
+``cache_warm``, ``cache_batched`` and ``cache_warm_batched`` -- with fixed
+seeds, so the fast-path counters (``cold_solves``, ``warm_solves``,
+``cache_hits``, the speculation block statistics, ...) are exactly
 reproducible; only the wall times vary run to run.  The script verifies
 the fast path's correctness contracts on every invocation:
 
-- ``cache`` objectives are **bit-identical** to ``nofast``;
-- ``cache_warm`` objectives match within the documented 1e-9 relative
-  error;
-- GSD reaches the issue's bar of >= 3x fewer cold inner solves.
+- ``cache`` and ``cache_batched`` objectives are **bit-identical** to
+  ``nofast`` (the batched engine's cold rows match the scalar oracle bit
+  for bit);
+- ``cache_warm`` and ``cache_warm_batched`` objectives match within the
+  documented 1e-9 relative error;
+- GSD reaches the bar of >= 3x fewer cold inner solves.
 
-The report lands in ``benchmarks/results/BENCH_solver_fastpath.json``.
-``--quick`` only reduces the wall-time repetitions (counters are
-configuration-determined, so quick and full runs agree on them), which is
-what lets CI's quick run be checked against the committed full reference:
-``--check REF`` exits 1 when any mode's ``inner_solves`` regressed by more
-than 20% against the reference.
+``--check REF`` adds the CI gates: the >20% regression tolerance on the
+deterministic ``inner_solves`` counters against the committed reference,
+plus the **hard wall-time floor** -- the in-run ratio
+``nofast.wall / cache_warm.wall`` on the GSD case must reach
+``GSD_WALL_SPEEDUP_FLOOR`` (3x).  The ratio compares two solves of the
+same run on the same machine, so it is machine-independent and safe to
+gate on even on shared runners (unlike absolute wall times).
+
+The report lands in ``benchmarks/results/BENCH_solver_fastpath.json`` and
+one flattened row per run is appended to the trend ledger by
+``repro bench`` (see ``repro.profile.ledger``).  ``--quick`` only reduces
+the wall-time repetitions (counters are configuration-determined, so
+quick and full runs agree on them).
 
 Run it directly (CI does)::
 
@@ -48,9 +59,30 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: grew by more than this fraction over the committed reference.
 REGRESSION_TOLERANCE = 0.20
 
-#: Acceptance bar from the issue: cache + warm starts must cut GSD's cold
-#: inner solves by at least this factor on the 200-group/500-iter case.
+#: Acceptance bar: cache + warm starts must cut GSD's cold inner solves by
+#: at least this factor on the 200-group/500-iter case.
 GSD_COLD_SPEEDUP_FLOOR = 3.0
+
+#: Hard wall-time floor under ``--check``: the in-run speedup of the GSD
+#: case's ``cache_warm`` mode over ``nofast``.  Both sides of the ratio
+#: come from the same process on the same machine, so the gate does not
+#: depend on runner hardware.
+GSD_WALL_SPEEDUP_FLOOR = 3.0
+
+MODES = ("nofast", "cache", "cache_warm", "cache_batched", "cache_warm_batched")
+
+#: Modes whose objective must be bit-identical to ``nofast`` (cold paths).
+COLD_MODES = ("cache", "cache_batched")
+#: Modes bound by the 1e-9 relative warm-start contract.
+WARM_MODES = ("cache_warm", "cache_warm_batched")
+
+
+def _mode_kwargs(mode: str) -> dict:
+    return {
+        "use_cache": mode != "nofast",
+        "warm_start": "warm" in mode,
+        "batched": mode.endswith("batched"),
+    }
 
 
 def _gsd_case():
@@ -67,8 +99,7 @@ def _gsd_case():
         return GSDSolver(
             iterations=500,
             rng=np.random.default_rng(0),
-            use_cache=mode != "nofast",
-            warm_start=mode == "cache_warm",
+            **_mode_kwargs(mode),
         ).solve(problem)
 
     return "gsd_200g_500it", solve
@@ -94,14 +125,10 @@ def _cd_case():
         return CoordinateDescentSolver(
             restarts=4,
             rng=np.random.default_rng(0),
-            use_cache=mode != "nofast",
-            warm_start=mode == "cache_warm",
+            **_mode_kwargs(mode),
         ).solve(problem)
 
     return "cd_hetero", solve
-
-
-MODES = ("nofast", "cache", "cache_warm")
 
 
 def _run_case(solve, *, repeats: int) -> dict:
@@ -116,10 +143,12 @@ def _run_case(solve, *, repeats: int) -> dict:
         stats = sol.info.get("fastpath")
         if stats is None:  # nofast GSD reports plain counters; CD reports none
             stats = {"cold_solves": sol.info.get("inner_solves")}
+        spec = sol.info.get("speculation") or {}
         out[mode] = {
             "objective": sol.objective,
             "wall_s_min": best,
             **{k: v for k, v in stats.items() if v is not None},
+            **{k: v for k, v in spec.items() if v is not None},
         }
     return out
 
@@ -128,11 +157,13 @@ def _verify_contracts(name: str, case: dict) -> list[str]:
     """The fast path's correctness guarantees, re-checked on every run."""
     errors = []
     cold_obj = case["nofast"]["objective"]
-    if case["cache"]["objective"] != cold_obj:
-        errors.append(f"{name}: cache objective not bit-identical to nofast")
-    warm_obj = case["cache_warm"]["objective"]
-    if abs(warm_obj - cold_obj) > 1e-9 * max(abs(cold_obj), 1.0):
-        errors.append(f"{name}: warm objective outside the 1e-9 contract")
+    for mode in COLD_MODES:
+        if case[mode]["objective"] != cold_obj:
+            errors.append(f"{name}: {mode} objective not bit-identical to nofast")
+    for mode in WARM_MODES:
+        warm_obj = case[mode]["objective"]
+        if abs(warm_obj - cold_obj) > 1e-9 * max(abs(cold_obj), 1.0):
+            errors.append(f"{name}: {mode} objective outside the 1e-9 contract")
     return errors
 
 
@@ -145,6 +176,11 @@ def measure(*, repeats: int) -> dict:
         warm_cold = case["cache_warm"].get("cold_solves")
         if nofast_cold and warm_cold:
             case["cold_solve_speedup"] = nofast_cold / warm_cold
+        nofast_wall = case["nofast"]["wall_s_min"]
+        case["wall_speedup_warm"] = nofast_wall / case["cache_warm"]["wall_s_min"]
+        case["wall_speedup_batched"] = (
+            nofast_wall / case["cache_batched"]["wall_s_min"]
+        )
         cases[name] = case
         errors += _verify_contracts(name, case)
 
@@ -159,6 +195,7 @@ def measure(*, repeats: int) -> dict:
         "repeats": repeats,
         "modes": list(MODES),
         "gsd_cold_speedup_floor": GSD_COLD_SPEEDUP_FLOOR,
+        "gsd_wall_speedup_floor": GSD_WALL_SPEEDUP_FLOOR,
         "regression_tolerance": REGRESSION_TOLERANCE,
         "cases": cases,
         "contract_errors": errors,
@@ -166,7 +203,8 @@ def measure(*, repeats: int) -> dict:
 
 
 def check_against(report: dict, reference_path: pathlib.Path) -> list[str]:
-    """Compare deterministic inner-solve counts with a committed reference."""
+    """The CI gates: counter regressions vs the committed reference, plus
+    the hard in-run wall-time floor on the GSD case."""
     reference = json.loads(reference_path.read_text())
     failures = []
     for name, ref_case in reference.get("cases", {}).items():
@@ -184,6 +222,12 @@ def check_against(report: dict, reference_path: pathlib.Path) -> list[str]:
                     f"{name}/{mode}: inner_solves {cur_n} vs reference "
                     f"{ref_n} (tolerance {REGRESSION_TOLERANCE:.0%})"
                 )
+    wall_speedup = report["cases"]["gsd_200g_500it"]["wall_speedup_warm"]
+    if wall_speedup < GSD_WALL_SPEEDUP_FLOOR:
+        failures.append(
+            f"gsd_200g_500it: in-run wall speedup (nofast/cache_warm) "
+            f"{wall_speedup:.2f}x below the hard {GSD_WALL_SPEEDUP_FLOOR:g}x floor"
+        )
     return failures
 
 
@@ -192,7 +236,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="single wall-time repetition per mode (counters are unaffected)",
+        help="two wall-time repetitions per mode (counters are unaffected)",
     )
     parser.add_argument("--repeats", type=int, default=None, help="timed runs per mode")
     parser.add_argument(
@@ -205,10 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         metavar="REF",
         default=None,
-        help="reference JSON; exit 1 on >20%% inner-solve regression",
+        help="reference JSON; exit 1 on >20%% inner-solve regression or a "
+        "GSD wall speedup below the hard floor",
     )
     args = parser.parse_args(argv)
-    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
 
     report = measure(repeats=repeats)
     out = pathlib.Path(args.output)
@@ -221,9 +266,11 @@ def main(argv: list[str] | None = None) -> int:
             f" solves / {1e3 * case[mode]['wall_s_min']:.0f} ms"
             for mode in MODES
         )
-        speedup = case.get("cold_solve_speedup")
-        extra = f" (cold-solve speedup {speedup:.1f}x)" if speedup else ""
-        print(f"{name}: {line}{extra}")
+        print(
+            f"{name}: {line} (warm wall speedup "
+            f"{case['wall_speedup_warm']:.1f}x, batched "
+            f"{case['wall_speedup_batched']:.1f}x)"
+        )
     print(f"report -> {out}")
 
     failed = list(report["contract_errors"])

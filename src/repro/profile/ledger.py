@@ -59,7 +59,16 @@ DEFAULT_LEDGER = os.path.join("benchmarks", "results", "trend.jsonl")
 #: Default argv per runnable suite (quick-but-meaningful configurations;
 #: suites not listed here run with their own defaults).
 SUITE_ARGS: dict[str, tuple[str, ...]] = {
-    "solver_fastpath": ("--quick",),
+    # solver_fastpath self-checks against its committed full-run reference:
+    # the >20% inner-solve tolerance plus the hard in-run wall-speedup
+    # floor (nofast / cache_warm >= 3x on the GSD case).  A floor breach
+    # exits non-zero, which fails the ledger verdict even without a prior
+    # trend row.
+    "solver_fastpath": (
+        "--quick",
+        "--check",
+        os.path.join("benchmarks", "results", "BENCH_solver_fastpath.json"),
+    ),
     "checkpoint_overhead": ("--horizon", "48", "--repeats", "2", "--warmup", "1"),
     "monitor_overhead": ("--horizon", "96", "--repeats", "3", "--warmup", "1"),
     "span_overhead": ("--horizon", "96", "--repeats", "3", "--warmup", "1"),

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..cluster.fleet import FleetAction
 from .base import SlotSolution, SlotSolver
+from .batched import tariff_cost_batch
 from .problem import InfeasibleError, SlotProblem
 
 __all__ = ["HomogeneousEnumerationSolver"]
@@ -128,7 +129,7 @@ class HomogeneousEnumerationSolver(SlotSolver):
         slot_h = problem.slot_hours
         facility = pue * it_power + sw_energy[:, None] / slot_h
         brown = np.maximum(facility - problem.onsite, 0.0) * slot_h
-        e_cost = _tariff_cost_vec(problem, brown)
+        e_cost = tariff_cost_batch(problem.tariff, brown, problem.price)
         with np.errstate(invalid="ignore"):
             delay_sum = M * problem.delay_model.cost(load, speeds[None, :])
             delay_sum = np.where(M > 0, delay_sum, 0.0)
@@ -170,21 +171,3 @@ class HomogeneousEnumerationSolver(SlotSolver):
                 "candidates": int(feasible.sum()),
             },
         )
-
-
-def _tariff_cost_vec(problem: SlotProblem, brown: np.ndarray) -> np.ndarray:
-    """Vectorized tariff cost over a candidate grid.
-
-    ``LinearTariff`` is the common case and is done in one multiply; other
-    tariffs fall back to a masked elementwise loop over *finite* candidates
-    (the grid is at most a few thousand entries).
-    """
-    from ..cluster.power import LinearTariff
-
-    if isinstance(problem.tariff, LinearTariff):
-        return problem.price * brown
-    out = np.full_like(brown, np.inf)
-    finite = np.isfinite(brown)
-    flat = brown[finite]
-    out[finite] = [problem.tariff.cost(float(b), problem.price) for b in flat]
-    return out

@@ -42,10 +42,15 @@ docs/PERFORMANCE.md):
   level changed) as a ``hint``.  The hint's dual variable seeds a tight
   bracket around the previous crossing (validated before use -- if the
   crossing moved outside the tight bracket, the cold bracket is used and
-  nothing is lost but two O(G) evaluations).  Warm-started solves agree
-  with cold solves to <= 1e-9 relative objective error (the bisections run
-  to bracket collapse either way, so both land within an ulp of the same
-  crossing); callers that need bit-exact cold results simply pass no hint.
+  nothing is lost but two O(G) evaluations).  A validated bracket is then
+  refined by safeguarded regula falsi (Illinois) instead of bisection:
+  secant proposals on the monotone served-load curve collapse the bracket
+  in a handful of steps where bisection needs ~log2(width/ulp), stopping
+  at ``_WARM_XTOL`` relative bracket width.  Warm-started solves agree
+  with cold solves to <= 1e-9 relative objective error (the closed
+  balance restores feasibility exactly, so the objective error is
+  second-order in the remaining dual error); callers that need bit-exact
+  cold results simply pass no hint.
 """
 
 from __future__ import annotations
@@ -71,14 +76,26 @@ _MU_ITERS = 60
 _EARLY_EXIT = True
 
 #: Relative half-widths of the brackets tried around a warm-start hint:
-#: the tight one wins when the crossing barely moved (mu-chained inner
-#: solves, revisited neighborhoods), the wide one when the candidate
-#: differs from the hint's configuration by a group flip or two (the
-#: typical GSD/coordinate-descent step: measured dual shifts on a
-#: 200-group fleet stay below ~3% per flipped group).  A failed tier
-#: costs two O(G) evaluations.
+#: the tight one wins when the crossing barely moved (mu-chained boundary
+#: solves), the wide one when the candidate differs from the hint's
+#: configuration by a group flip or two (the typical GSD/coordinate-
+#: descent step: measured dual shifts on a 200-group fleet stay below
+#: ~3% per flipped group).  The nu water-fill validates only the wide
+#: bracket -- the tight one is contained in it, so it validates exactly
+#: when the wide one does, and the Illinois refinement erases the width
+#: difference in a couple of steps; the mu bisection (no superlinear
+#: refinement) still tries both.  A failed tier costs two O(G)
+#: evaluations.
 _WARM_RTOL = 1e-6
 _WARM_RTOL_WIDE = 5e-2
+
+#: Warm refinements stop once the bracket is this tight (relative to the
+#: dual's magnitude).  The residual closure restores the served-load
+#: balance exactly, so the solution is a feasible point within ~1e-10 of
+#: the optimizer and the objective gap is *second order* (~1e-20 relative)
+#: -- far inside the 1e-9 warm contract.  Cold bisections still run to fp
+#: bracket collapse; their bit-exactness contract is untouched.
+_WARM_XTOL = 1e-10
 
 
 @dataclass(frozen=True)
@@ -123,6 +140,11 @@ def _fill_when_delay_free(
     loads = np.zeros_like(caps)
     remaining = lam
     for g in order:
+        if counts[g] <= 0.0:
+            # A zero-server group (e.g. failures emptied it) offers no
+            # capacity; skipping it keeps the 0/0 below from poisoning the
+            # fill with NaNs.
+            continue
         take = min(remaining, caps[g] * counts[g])
         loads[g] = take / counts[g]
         remaining -= take
@@ -130,6 +152,37 @@ def _fill_when_delay_free(
             break
     if remaining > 1e-9 * max(lam, 1.0):
         raise InfeasibleError("load exceeds capped capacity of the on-set")
+    return loads
+
+
+def _close_residual(
+    lam: float, loads: np.ndarray, caps: np.ndarray, n: np.ndarray
+) -> np.ndarray:
+    """Force ``sum(n * loads) == lam`` by spreading the bisection residual
+    over groups strictly inside their box ``[0, cap]``.
+
+    The first pass applies one uniform correction and clips -- the
+    historical behavior, bit-identical whenever the correction lands
+    strictly inside every box (the overwhelmingly common case: the residual
+    is a few ulps of ``lam``).  When clipping *does* bind -- some interior
+    group saturates at its cap (or floor) while absorbing the correction --
+    the clipped mass is redistributed over the still-interior set until the
+    balance closes; each extra pass saturates at least one group, so the
+    loop is bounded by the group count.
+    """
+    residual = lam - float(np.sum(n * loads))
+    for _ in range(loads.size + 1):
+        interior = (loads > 0.0) & (loads < caps) if residual < 0 else (loads < caps)
+        weight = float(np.sum(n[interior]))
+        if weight <= 0.0:
+            break
+        proposed = loads[interior] + residual / weight
+        clipped = np.clip(proposed, 0.0, caps[interior])
+        loads = loads.copy()
+        loads[interior] = clipped
+        if not np.any(clipped != proposed):
+            break  # nothing bound: the correction closed the balance
+        residual = lam - float(np.sum(n * loads))
     return loads
 
 
@@ -174,41 +227,98 @@ def _waterfill(
 
     lo = float(np.min(elec_marginal + wd * dm.marginal(np.zeros_like(x), x)))
     hi = max(lo, float(np.max(elec_marginal + wd * dm.marginal(caps, x)))) + 1.0
-    while served(hi) < lam:
-        hi = 2.0 * hi + 1.0
-        if hi > 1e300:
-            raise InfeasibleError("load exceeds capped capacity of the on-set")
 
+    # Warm validation runs *before* the cold doubling probe: the doubling
+    # loop only ever raises ``hi``, so a hint bracket that fits under the
+    # initial ``hi`` sees exactly the same clamps either way -- and once
+    # it validates (``served(whi) >= lam``), monotonicity guarantees the
+    # probe would not have fired, letting a validated hint skip that O(G)
+    # evaluation entirely.  Only hint brackets poking above the initial
+    # ``hi`` have to wait for the doubled bracket.
     warm = False
-    if nu_hint is not None and np.isfinite(nu_hint):
-        for rtol in (_WARM_RTOL, _WARM_RTOL_WIDE):
-            w = rtol * max(abs(nu_hint), 1e-300)
+    f_lo = f_hi = 0.0
+    hint_ok = nu_hint is not None and np.isfinite(nu_hint)
+    tried_early = False
+    if hint_ok:
+        w = _WARM_RTOL_WIDE * max(abs(nu_hint), 1e-300)
+        wlo, whi = max(lo, nu_hint - w), nu_hint + w
+        if wlo < whi <= hi:
+            tried_early = True
+            s_lo = served(wlo)
+            if s_lo < lam:
+                s_hi = served(whi)
+                if lam <= s_hi:
+                    lo, hi = wlo, whi
+                    f_lo, f_hi = s_lo - lam, s_hi - lam
+                    warm = True
+    if not warm:
+        while served(hi) < lam:
+            hi = 2.0 * hi + 1.0
+            if hi > 1e300:
+                raise InfeasibleError("load exceeds capped capacity of the on-set")
+        if hint_ok and not tried_early:
+            w = _WARM_RTOL_WIDE * max(abs(nu_hint), 1e-300)
             wlo, whi = max(lo, nu_hint - w), min(hi, nu_hint + w)
-            if wlo < whi and served(wlo) < lam <= served(whi):
-                lo, hi = wlo, whi
-                warm = True
-                break
+            if wlo < whi:
+                s_lo = served(wlo)
+                if s_lo < lam:
+                    s_hi = served(whi)
+                    if lam <= s_hi:
+                        lo, hi = wlo, whi
+                        f_lo, f_hi = s_lo - lam, s_hi - lam
+                        warm = True
 
     iters = 0
-    for _ in range(_NU_ITERS):
-        mid = 0.5 * (lo + hi)
-        collapsed = mid == lo or mid == hi
-        if served(mid) < lam:
-            lo = mid
-        else:
-            hi = mid
-        iters += 1
-        if collapsed and _EARLY_EXIT:
-            break
+    if warm:
+        # Warm refinement: safeguarded regula falsi (Illinois).  The
+        # validated bracket already holds ``served(lo) < lam <= served(hi)``
+        # with residuals in hand, and ``served`` is monotone, so secant
+        # proposals converge superlinearly where bisection would spend
+        # ~log2(width/ulp) steps.  Every 4th step takes the plain midpoint,
+        # bounding the interval by width * 2^(-iters/4) regardless of how
+        # the secant behaves; the loop stops once the bracket shrinks to
+        # ``_WARM_XTOL`` relative width (see that constant for why the
+        # 1e-9 objective contract still holds with orders of magnitude to
+        # spare) or on fp bracket collapse, whichever comes first.
+        side = 0
+        for _ in range(_NU_ITERS):
+            if iters & 3 == 3:
+                mid = 0.5 * (lo + hi)
+            else:
+                mid = hi - f_hi * ((hi - lo) / (f_hi - f_lo))
+                if not (lo < mid < hi):
+                    mid = 0.5 * (lo + hi)
+            if mid == lo or mid == hi:
+                break
+            fm = served(mid) - lam
+            iters += 1
+            if fm < 0:
+                if side < 0:
+                    f_hi = 0.5 * f_hi
+                lo, f_lo = mid, fm
+                side = -1
+            else:
+                if side > 0:
+                    f_lo = 0.5 * f_lo
+                hi, f_hi = mid, fm
+                side = 1
+            if hi - lo <= _WARM_XTOL * max(abs(lo), abs(hi)):
+                break
+    else:
+        for _ in range(_NU_ITERS):
+            mid = 0.5 * (lo + hi)
+            collapsed = mid == lo or mid == hi
+            if served(mid) < lam:
+                lo = mid
+            else:
+                hi = mid
+            iters += 1
+            if collapsed and _EARLY_EXIT:
+                break
     loads = loads_at(hi)
 
     # Close the residual balance exactly on groups strictly inside their box.
-    residual = lam - float(np.sum(n * loads))
-    interior = (loads > 0.0) & (loads < caps) if residual < 0 else (loads < caps)
-    weight = float(np.sum(n[interior]))
-    if weight > 0.0:
-        loads = loads.copy()
-        loads[interior] = np.clip(loads[interior] + residual / weight, 0.0, caps[interior])
+    loads = _close_residual(lam, loads, caps, n)
     return loads, hi, iters, warm
 
 
@@ -332,6 +442,7 @@ def distribute_load(
                 warm_any = True
                 break
     loads_m, nu_m = loads_b, nu_b
+    mu = 0.5 * (lo_mu + hi_mu)
     nu_chain = hint.nu if warm_any and hint is not None else None
     for _ in range(_MU_ITERS):
         mu = 0.5 * (lo_mu + hi_mu)
@@ -349,9 +460,12 @@ def distribute_load(
         if collapsed and _EARLY_EXIT:
             break
     full[on] = loads_m
-    return LoadDistribution(
-        full, nu_m, "boundary", 0.5 * (lo_mu + hi_mu), warm_any, total_iters
-    )
+    # Report the weight the returned loads were actually computed at: the
+    # last midpoint ``mu``, not the final bracket's center.  Warm-start
+    # hints seed their mu bracket from ``hint.electricity_weight``, so the
+    # mismatch would hand every boundary-regime warm solve a bracket around
+    # a weight no water-fill ever used.
+    return LoadDistribution(full, nu_m, "boundary", mu, warm_any, total_iters)
 
 
 def solve_fixed_levels(problem: SlotProblem, levels: np.ndarray):

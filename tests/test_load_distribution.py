@@ -7,10 +7,13 @@ constrained optimizer on random instances, and its structural properties
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from scipy.optimize import minimize
 
 from repro.cluster import FleetAction
 from repro.solvers import InfeasibleError, distribute_load, solve_fixed_levels
+from repro.solvers import load_distribution as ld
 from tests.conftest import make_problem
 
 
@@ -160,6 +163,145 @@ class TestOptimality:
         util = dist.per_server_load / fleet.speed_table[np.arange(2), levels]
         order = np.argsort(coeff)
         assert util[order[0]] >= util[order[1]] - 1e-9
+
+
+@st.composite
+def residual_cases(draw):
+    """Random residual-closure instances: strictly-interior starting loads
+    and a served-load target within the fleet's capped capacity, shifted
+    far enough (up to +-30%) that the uniform correction saturates groups
+    and forces redistribution passes."""
+    g = draw(st.integers(1, 6))
+    caps = np.array(draw(st.lists(st.floats(0.1, 10.0), min_size=g, max_size=g)))
+    fracs = np.array(draw(st.lists(st.floats(0.01, 0.99), min_size=g, max_size=g)))
+    counts = np.array(
+        draw(st.lists(st.integers(0, 5), min_size=g, max_size=g)), dtype=np.float64
+    )
+    if float(np.sum(counts)) <= 0.0:
+        counts[draw(st.integers(0, g - 1))] = 1.0
+    shift = draw(st.floats(-0.3, 0.3))
+    loads = fracs * caps
+    total_cap = float(np.sum(counts * caps))
+    lam = float(
+        np.clip((1.0 + shift) * float(np.sum(counts * loads)), 1e-6, total_cap)
+    )
+    return lam, loads, caps, counts
+
+
+class TestResidualClosure:
+    """Regression tests for the water-filling residual closure: clipping a
+    saturating correction used to leave the served-load balance open (the
+    clipped mass simply vanished); the closure now redistributes it over
+    the still-interior set until the balance closes."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(residual_cases())
+    def test_balance_closes_within_bounds(self, case):
+        lam, loads, caps, counts = case
+        out = ld._close_residual(lam, loads, caps, counts)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= caps)
+        served = float(np.sum(counts * out))
+        assert served == pytest.approx(lam, rel=1e-9, abs=1e-9)
+
+    def test_saturating_correction_redistributes(self):
+        """A correction that caps one group must push the overflow onto the
+        others, not drop it (the pre-fix behavior)."""
+        caps = np.array([1.0, 10.0, 10.0])
+        loads = np.array([0.9, 5.0, 5.0])
+        counts = np.array([1.0, 1.0, 1.0])
+        lam = 12.0  # residual 1.1 caps group 0 at 1.0; 1.0 spills over
+        out = ld._close_residual(lam, loads, caps, counts)
+        assert out[0] == 1.0
+        assert float(np.sum(counts * out)) == pytest.approx(12.0, rel=1e-12)
+
+    def test_zero_count_groups_do_not_absorb(self):
+        """Interior groups with zero servers contribute nothing to the
+        served load; the closure must still converge on the others."""
+        caps = np.array([5.0, 5.0])
+        loads = np.array([1.0, 1.0])
+        counts = np.array([0.0, 2.0])
+        out = ld._close_residual(4.0, loads, caps, counts)
+        assert float(np.sum(counts * out)) == pytest.approx(4.0, rel=1e-12)
+
+
+class TestDelayFreeZeroCount:
+    """Regression: the greedy ``Wd == 0`` fill divided by the group count,
+    so a group emptied by failures (count 0) produced 0/0 NaNs that
+    poisoned every later group's load."""
+
+    def test_direct_fill_skips_zero_count_groups(self):
+        loads = ld._fill_when_delay_free(
+            10.0,
+            weights=np.array([1.0, 2.0, 3.0]),
+            caps=np.array([5.0, 5.0, 5.0]),
+            counts=np.array([0.0, 4.0, 4.0]),
+        )
+        assert not np.any(np.isnan(loads))
+        assert loads[0] == 0.0
+        assert float(np.sum(np.array([0.0, 4.0, 4.0]) * loads)) == pytest.approx(10.0)
+
+    def test_distribute_load_with_emptied_group(self, tiny_fleet):
+        from repro.cluster import Fleet
+        from repro.core import DataCenterModel
+
+        model = DataCenterModel(fleet=Fleet(tiny_fleet.groups), beta=0.0)
+        counts = model.fleet.counts.copy()
+        counts[0] = 0.0
+        counts.setflags(write=False)
+        model.fleet.counts = counts
+        p = model.slot_problem(arrival_rate=50.0, onsite=0.0, price=40.0)
+        dist = distribute_load(p, np.full(3, 3))
+        assert not np.any(np.isnan(dist.per_server_load))
+        served = float(np.sum(counts * dist.per_server_load))
+        assert served == pytest.approx(50.0)
+
+
+class TestBoundaryWeightReporting:
+    """Regression: the boundary regime used to report the *final bracket
+    midpoint* as ``electricity_weight`` -- a weight no water-fill ever ran
+    at -- so warm starts seeded their mu bracket around the wrong point and
+    the result was not reproducible from its own metadata."""
+
+    def test_reported_weight_reproduces_loads(self, hetero_model):
+        from tests.test_fastpath import boundary_problem
+
+        levels = (hetero_model.fleet.num_levels - 1).astype(np.int64)
+        p = boundary_problem(hetero_model, levels)
+        dist = distribute_load(p, levels)
+        assert dist.regime == "boundary"
+        assert 0.0 < dist.electricity_weight < p.electricity_weight
+
+        # Re-running the water-fill at the reported weight (seeded with the
+        # reported dual) must land on the returned loads.
+        fleet = p.fleet
+        on = np.nonzero(levels >= 0)[0]
+        x = fleet.speed_table[on, levels[on]]
+        c = fleet.dyn_coeff[on, levels[on]]
+        n = fleet.counts[on]
+        loads2, _, _, _ = ld._waterfill(
+            p, p.arrival_rate, dist.electricity_weight, x, c, n, nu_hint=dist.nu
+        )
+        np.testing.assert_allclose(
+            loads2, dist.per_server_load[on], rtol=1e-6, atol=1e-12
+        )
+
+    def test_self_hint_validates_boundary_bracket(self, hetero_model):
+        from tests.test_fastpath import boundary_problem
+
+        levels = (hetero_model.fleet.num_levels - 1).astype(np.int64)
+        p = boundary_problem(hetero_model, levels)
+        dist = distribute_load(p, levels)
+        assert dist.regime == "boundary"
+        redo = distribute_load(p, levels, hint=dist)
+        assert redo.regime == "boundary"
+        assert redo.warm_started
+        assert redo.electricity_weight == pytest.approx(
+            dist.electricity_weight, rel=1e-6
+        )
+        np.testing.assert_allclose(
+            redo.per_server_load, dist.per_server_load, rtol=1e-6, atol=1e-12
+        )
 
 
 class TestSolveFixedLevels:

@@ -176,6 +176,7 @@ def _write_stub_suite(bench_dir, *, inner_solves=100, exit_code=0):
             def main(argv=None):
                 p = argparse.ArgumentParser()
                 p.add_argument("--quick", action="store_true")
+                p.add_argument("--check", default=None)
                 p.add_argument("-o", "--output", required=True)
                 args = p.parse_args(argv)
                 report = {{
