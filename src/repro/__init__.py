@@ -58,6 +58,7 @@ from .solvers import (
     DistributedGSD,
     GSDSolver,
     HomogeneousEnumerationSolver,
+    ShardedGSDSolver,
     SlotProblem,
 )
 from .telemetry import (
@@ -102,6 +103,7 @@ __all__ = [
     "SlotProblem",
     "GSDSolver",
     "DistributedGSD",
+    "ShardedGSDSolver",
     "HomogeneousEnumerationSolver",
     "CoordinateDescentSolver",
     "BruteForceSolver",

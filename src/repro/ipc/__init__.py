@@ -1,0 +1,23 @@
+"""Inter-process plumbing for the sharded solvers.
+
+:mod:`repro.ipc` is deliberately small and solver-agnostic: a framed,
+sequence-numbered pickle channel over an OS pipe (:mod:`~repro.ipc
+.transport`) and a warm pool of persistent worker processes
+(:mod:`~repro.ipc.pool`).  Everything protocol-specific -- what the frames
+*mean*, how faults are modeled, how determinism is preserved -- lives with
+the solver that speaks the protocol (:mod:`repro.solvers.sharded`).  The
+split mirrors the existing message layer: :class:`~repro.solvers.messaging
+.MessageBus` models the *fabric*, :mod:`repro.faults.bus` models its
+failures, and this package is merely the wire.
+"""
+
+from .pool import ShardWorkerPool, WorkerHandle
+from .transport import Channel, ChannelClosedError, channel_pair
+
+__all__ = [
+    "Channel",
+    "ChannelClosedError",
+    "channel_pair",
+    "ShardWorkerPool",
+    "WorkerHandle",
+]

@@ -1,0 +1,267 @@
+"""A warm pool of persistent worker processes.
+
+The pool exists to amortize process startup across an entire run: workers
+are forked once, live for the lifetime of their owner (a sharded solver, a
+long ``repro serve`` loop), and are fed per-slot work over their
+:class:`~repro.ipc.transport.Channel`.  Cold-spawning a process per slot
+would cost more than the slot's solve; the ModelOps-style alternative --
+keep workers hot and key the *bulk state* they hold by fingerprint -- is
+what :meth:`WorkerHandle.knows` / :meth:`WorkerHandle.mark_known`
+implement: the owner ships a heavy payload (a pickled fleet + slot-problem
+structure) to a worker at most once per fingerprint, and every later slot
+sends only the small per-slot deltas.
+
+Process-management policy:
+
+- **fork start method.**  Workers inherit the parent's imported modules
+  and code; nothing but live per-run data ever crosses the pipe.
+- **daemon workers.**  A normal interpreter exit never hangs on the pool.
+- **orphan self-destruction.**  A worker whose parent vanished (SIGKILL --
+  no chance to clean up) notices via ``os.getppid()`` inside its receive
+  loop and exits, so crash tests and killed runs leave no stragglers.
+- **explicit respawn.**  The pool never auto-restarts a dead worker: death
+  is surfaced to the owner as :class:`~repro.ipc.transport
+  .ChannelClosedError`, and the owner decides what state must be replayed
+  into the replacement (see the recovery contract in
+  :mod:`repro.solvers.sharded`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from typing import Callable
+
+from .transport import Channel, ChannelClosedError, channel_pair
+
+__all__ = ["ShardWorkerPool", "WorkerHandle"]
+
+#: Seconds between orphan checks in the worker receive loop.
+_ORPHAN_POLL_S = 1.0
+
+
+class WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, index: int, process, channel: Channel):
+        self.index = index
+        self.process = process
+        self.channel = channel
+        self.generation = 0
+        self._known: set[str] = set()
+
+    # -------------------------------------------------- fingerprint cache
+    def knows(self, fingerprint: str) -> bool:
+        """Whether this worker already holds the payload for ``fingerprint``."""
+        return fingerprint in self._known
+
+    def mark_known(self, fingerprint: str) -> None:
+        """Record that the payload for ``fingerprint`` reached this worker."""
+        self._known.add(fingerprint)
+
+    def forget_all(self) -> None:
+        self._known.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive() and not self.channel.closed
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+
+def _child_entry(
+    channel: Channel,
+    inherited: list[Channel],
+    index: int,
+    target: Callable[[Channel, int], None],
+) -> None:
+    """Worker bootstrap: drop inherited pipe ends, then run the target.
+
+    A forked child holds copies of the parent ends of every *earlier*
+    worker's pipe; keeping them open would stop those workers from seeing
+    EOF when their real peer dies.
+    """
+    for other in inherited:
+        other.close()
+    target(channel, index)
+
+
+def worker_loop(
+    channel: Channel,
+    handlers: dict[str, Callable[[dict], dict]],
+) -> None:
+    """Generic worker dispatch loop: recv frame, dispatch on ``op``, reply.
+
+    The reply frame always echoes the request's ``seq``.  A handler's
+    returned dict becomes the reply payload; a handler raising an
+    exception produces an ``{"error": ...}`` reply instead of killing the
+    worker (the owner decides whether that is fatal).  The loop exits when
+    the channel closes or the parent process disappears.
+    """
+    parent = os.getppid()
+    while True:
+        try:
+            frame = channel.recv(timeout=_ORPHAN_POLL_S)
+        except ChannelClosedError:
+            return
+        if frame is None:
+            if os.getppid() != parent:
+                return  # orphaned by a parent SIGKILL
+            continue
+        op = frame.get("op")
+        handler = handlers.get(op)
+        if handler is None:
+            reply = {"error": f"unknown op {op!r}"}
+        else:
+            try:
+                reply = handler(frame)
+            except Exception as exc:  # noqa: BLE001 - forwarded to the owner
+                reply = {"error": f"{type(exc).__name__}: {exc}"}
+        reply["seq"] = frame["seq"]
+        reply["op"] = op
+        try:
+            channel.send(reply)
+        except ChannelClosedError:
+            return
+
+
+class ShardWorkerPool:
+    """``size`` persistent workers, spawned lazily, addressed by index.
+
+    Parameters
+    ----------
+    size:
+        Number of workers.
+    target:
+        ``target(channel, index)`` run inside each child; typically a thin
+        wrapper around :func:`worker_loop` with protocol-specific handlers.
+    """
+
+    def __init__(self, size: int, target: Callable[[Channel, int], None]):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self.target = target
+        self._ctx = multiprocessing.get_context("fork")
+        self._workers: list[WorkerHandle | None] = [None] * size
+        self._seq = 0
+        self.respawns = 0
+        # Guarantees cleanup even when the owner forgets to close(): the
+        # finalizer holds only what teardown needs, not the pool itself.
+        self._finalizer = weakref.finalize(self, _shutdown, self._workers)
+
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        """A fresh pool-global sequence number (monotonic per worker too)."""
+        self._seq += 1
+        return self._seq
+
+    def worker(self, index: int) -> WorkerHandle:
+        """The handle for worker ``index``, spawning it on first use."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"worker index {index} out of range")
+        handle = self._workers[index]
+        if handle is None:
+            handle = self._spawn(index, generation=0)
+            self._workers[index] = handle
+        return handle
+
+    def _spawn(self, index: int, generation: int) -> WorkerHandle:
+        parent_ch, child_ch = channel_pair(self._ctx)
+        inherited = [
+            w.channel for w in self._workers if w is not None and not w.channel.closed
+        ]
+        process = self._ctx.Process(
+            target=_child_entry,
+            args=(child_ch, inherited, index, self.target),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_ch.close()  # parent keeps only its own end
+        handle = WorkerHandle(index, process, parent_ch)
+        handle.generation = generation
+        return handle
+
+    def respawn(self, index: int) -> WorkerHandle:
+        """Replace a dead (or wedged) worker with a fresh process.
+
+        The replacement starts empty: its fingerprint cache is cleared, so
+        the owner's next ``ensure``-style check re-ships whatever bulk
+        state the protocol needs.
+        """
+        old = self._workers[index]
+        generation = 0
+        if old is not None:
+            generation = old.generation + 1
+            old.channel.close()
+            if old.process.is_alive():
+                old.process.terminate()
+            old.process.join(timeout=5.0)
+        handle = self._spawn(index, generation)
+        self._workers[index] = handle
+        self.respawns += 1
+        return handle
+
+    # ------------------------------------------------------------------
+    def request(
+        self, index: int, op: str, *, timeout: float | None = None, **fields
+    ) -> dict | None:
+        """Synchronous round-trip: post ``op`` and await its reply.
+
+        Returns ``None`` on timeout (lost-reply semantics); raises
+        :class:`ChannelClosedError` when the worker is dead.
+        """
+        seq = self.post(index, op, **fields)
+        return self.collect(index, seq, timeout=timeout)
+
+    def post(self, index: int, op: str, **fields) -> int:
+        """Fire-and-forget send; returns the seq to :meth:`collect` later.
+
+        Posting to every involved worker before collecting from any is how
+        the sharded solver overlaps shard compute.
+        """
+        handle = self.worker(index)
+        if not handle.alive:
+            raise ChannelClosedError(f"worker {index} is not running")
+        seq = self.next_seq()
+        frame = {"seq": seq, "op": op}
+        frame.update(fields)
+        handle.channel.send(frame)
+        return seq
+
+    def collect(self, index: int, seq: int, *, timeout: float | None = None) -> dict | None:
+        """Await the reply to ``seq`` from worker ``index`` (stale-safe)."""
+        handle = self.worker(index)
+        return handle.channel.recv_seq(seq, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    @property
+    def spawned(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for w in self._workers if w is not None and w.alive)
+
+    def close(self) -> None:
+        """Terminate every worker and release the pipes (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _shutdown(workers: list[WorkerHandle | None]) -> None:
+    for handle in workers:
+        if handle is None:
+            continue
+        handle.channel.close()
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=5.0)
+    workers[:] = [None] * len(workers)

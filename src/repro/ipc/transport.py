@@ -1,0 +1,128 @@
+"""Framed, sequence-numbered pickle transport over an OS pipe.
+
+One :class:`Channel` wraps one end of a ``multiprocessing`` pipe.  Frames
+are plain dicts with a mandatory integer ``"seq"`` field; payload values
+are whatever pickle can carry (numpy arrays ride for free).  The transport
+adds exactly three behaviours on top of the raw pipe:
+
+- **Framing.**  Each frame is pickled once and shipped with
+  ``send_bytes``, so a frame is delivered whole or not at all; a torn read
+  surfaces as :class:`ChannelClosedError`, never as a half-parsed object.
+- **Timeouts.**  :meth:`Channel.recv` polls with a wall-clock budget and
+  returns ``None`` on expiry.  A timeout is *not* an error at this layer:
+  the sharded protocol maps it to a lost reply and retries (the same
+  shape as :func:`repro.solvers.messaging.exchange` on a silent bus).
+- **Stale-frame discipline.**  :meth:`Channel.recv_seq` discards frames
+  whose ``seq`` predates the one awaited.  A round the caller abandoned
+  (timeout, retry, fault injection) may leave its late reply in the pipe;
+  the discipline guarantees that reply can never be mistaken for the
+  answer to a *newer* request -- the cross-process analogue of the
+  message layer's "late duplicate ack is discarded" contract.
+
+The pipe itself is reliable; *modeled* unreliability (seeded loss, delay,
+duplication) is injected upstream by :class:`repro.faults.bus
+.FaultyMessageBus` before a frame ever reaches the transport, so chaos
+stays a pure function of the fault profile's seed.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing.connection import Connection
+
+__all__ = ["Channel", "ChannelClosedError", "channel_pair"]
+
+#: Pickle protocol for frames; 5 (out-of-band buffers capable) everywhere
+#: this repo supports, but spelled as a floor so older interpreters work.
+_PICKLE_PROTOCOL = min(5, pickle.HIGHEST_PROTOCOL)
+
+
+class ChannelClosedError(ConnectionError):
+    """The peer end of the channel is gone (process death, closed pipe)."""
+
+
+class Channel:
+    """One end of a duplex framed-pickle pipe.
+
+    Channels are single-owner: exactly one thread of one process sends and
+    receives on an end.  ``stale_drops`` counts frames discarded by the
+    sequence discipline, for tests and telemetry.
+    """
+
+    def __init__(self, conn: Connection):
+        self._conn = conn
+        self.sent = 0
+        self.received = 0
+        self.stale_drops = 0
+
+    # ------------------------------------------------------------------
+    def send(self, frame: dict) -> None:
+        """Ship one frame; raises :class:`ChannelClosedError` on a dead peer."""
+        payload = pickle.dumps(frame, protocol=_PICKLE_PROTOCOL)
+        try:
+            self._conn.send_bytes(payload)
+        except (BrokenPipeError, OSError, EOFError) as exc:
+            raise ChannelClosedError(f"peer gone while sending: {exc}") from exc
+        self.sent += 1
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """Next frame, or ``None`` when ``timeout`` seconds pass without one.
+
+        ``timeout=None`` blocks until a frame arrives or the peer closes
+        (the latter raises :class:`ChannelClosedError`).
+        """
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                return None
+            payload = self._conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ChannelClosedError(f"peer gone while receiving: {exc}") from exc
+        self.received += 1
+        frame = pickle.loads(payload)
+        if not isinstance(frame, dict) or "seq" not in frame:
+            raise ValueError("malformed frame: expected a dict with a 'seq' field")
+        return frame
+
+    def recv_seq(self, seq: int, timeout: float | None = None) -> dict | None:
+        """The frame answering ``seq``, discarding stale predecessors.
+
+        Frames with ``frame["seq"] < seq`` are late replies to rounds the
+        caller already gave up on; they are counted in ``stale_drops`` and
+        skipped.  A frame from the *future* (``> seq``) means the two ends
+        disagree about the conversation and is a protocol bug, raised
+        loudly rather than mis-delivered.
+        """
+        while True:
+            frame = self.recv(timeout)
+            if frame is None:
+                return None
+            got = int(frame["seq"])
+            if got == seq:
+                return frame
+            if got < seq:
+                self.stale_drops += 1
+                continue
+            raise RuntimeError(
+                f"out-of-order frame: awaiting seq {seq}, peer sent {got}"
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close this end; the peer's next receive sees the channel closed."""
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    def fileno(self) -> int:
+        return self._conn.fileno()
+
+
+def channel_pair(context) -> tuple[Channel, Channel]:
+    """A connected ``(parent, child)`` channel pair from an mp context."""
+    parent_conn, child_conn = context.Pipe(duplex=True)
+    return Channel(parent_conn), Channel(child_conn)

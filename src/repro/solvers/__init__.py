@@ -11,6 +11,7 @@ from .fastpath import EvaluationCache, FastPathStats
 from .gsd import GSDSolver, GSDTrace, geometric_temperature
 from .load_distribution import LoadDistribution, distribute_load, solve_fixed_levels
 from .messaging import (
+    BusAgent,
     BusTimeoutError,
     DistributedGSD,
     DualLoadCoordinator,
@@ -20,6 +21,7 @@ from .messaging import (
     exchange,
 )
 from .problem import InfeasibleError, SlotEvaluation, SlotProblem
+from .sharded import ShardAgent, ShardedGSDSolver, ShardPlan, problem_fingerprint
 
 __all__ = [
     "SlotProblem",
@@ -49,7 +51,12 @@ __all__ = [
     "MessageBus",
     "Message",
     "ServerAgent",
+    "BusAgent",
     "BusTimeoutError",
     "exchange",
     "solve_with_failed_groups",
+    "ShardedGSDSolver",
+    "ShardAgent",
+    "ShardPlan",
+    "problem_fingerprint",
 ]

@@ -42,9 +42,11 @@ from .serialize import (
     decode_action,
     decode_array,
     decode_rng,
+    decode_rng_states,
     encode_action,
     encode_array,
     encode_rng,
+    encode_rng_states,
     environment_fingerprint,
 )
 
@@ -65,6 +67,8 @@ __all__ = [
     "encode_action",
     "encode_array",
     "encode_rng",
+    "encode_rng_states",
+    "decode_rng_states",
     "environment_fingerprint",
     "fsync_dir",
     "latest_valid_checkpoint",

@@ -203,3 +203,113 @@ class TestDistributedGSD:
             DistributedGSD(iterations=0)
         with pytest.raises(ValueError):
             DistributedGSD(delta=0.0)
+
+
+class LateAckBus(MessageBus):
+    """Delivers every message, but while armed withholds replies of one
+    kind past the sender's timeout window: the handler runs (state
+    mutates), the ack is parked in ``late_acks`` instead of returned.
+
+    This is the nastiest corner of the retry protocol: the sender raises
+    :class:`BusTimeoutError` for a round the recipients actually executed
+    -- possibly several times, once per retry -- and the late duplicate
+    acks arrive after the round was abandoned.
+    """
+
+    def __init__(self, eat_kind: str):
+        super().__init__()
+        self.eat_kind = eat_kind
+        self.armed = True
+        self.late_acks: list[Message] = []
+
+    def send(self, message: Message) -> Message | None:
+        reply = super().send(message)
+        if self.armed and message.kind == self.eat_kind:
+            self.late_acks.append(reply)
+            return None
+        return reply
+
+
+class TestLateAckAfterTimeout:
+    """An agent answering a retry *after* ``BusTimeoutError`` was raised
+    for the round: the late duplicate acks must be discarded and must not
+    corrupt the next bisection round."""
+
+    def _late_bus(self, fleet, eat_kind):
+        bus = LateAckBus(eat_kind)
+        agents = [
+            ServerAgent(f"group-{g}", fleet, g) for g in range(fleet.num_groups)
+        ]
+        for a in agents:
+            bus.register(a)
+        return bus, agents
+
+    def test_late_commit_acks_discarded_next_round_clean(self, tiny_model):
+        p1 = make_problem(tiny_model, lam_frac=0.5, q=10.0)
+        p2 = make_problem(tiny_model, lam_frac=0.7, q=2.0, price=55.0)
+
+        # Reference: the same two slots on an always-reliable fabric.
+        ref_bus, ref_agents = build_bus(tiny_model.fleet)
+        ref = DualLoadCoordinator(ref_bus, retries=2)
+        ref.configure(p1)
+        ref.solve(p1)
+        ref.configure(p2)
+        nu_ref = ref.solve(p2)
+
+        # Outage round: "commit" handlers all execute, every ack is late.
+        bus, agents = self._late_bus(tiny_model.fleet, "commit")
+        coord = DualLoadCoordinator(bus, retries=2)
+        coord.configure(p1)
+        with pytest.raises(BusTimeoutError):
+            coord.solve(p1)
+        # The round was answered retries+1 times -- after the timeout.
+        assert len(bus.late_acks) == 3
+        assert all(m is not None and m.kind == "ack" for m in bus.late_acks)
+        assert coord.retries_used == 2
+        # The recipient executed the abandoned round: its state moved.
+        assert agents[0].load > 0.0
+
+        # Next round on a healed fabric: the parked duplicates are never
+        # consumed, and overwrite-idempotent handlers leave no residue --
+        # the bisection lands exactly where the reliable fabric did.
+        bus.armed = False
+        coord.configure(p2)
+        nu = coord.solve(p2)
+        assert nu == nu_ref
+        np.testing.assert_array_equal(
+            np.array([a.load for a in agents]),
+            np.array([a.load for a in ref_agents]),
+        )
+        np.testing.assert_array_equal(
+            np.array([a.level for a in agents]),
+            np.array([a.level for a in ref_agents]),
+        )
+
+    def test_late_price_reply_does_not_skew_bisection(self, tiny_model):
+        """Same gap for a *query* kind: a price round that times out after
+        its replies were computed must not leak those stale responses into
+        the re-run bisection."""
+        p = make_problem(tiny_model, lam_frac=0.5, q=10.0)
+
+        ref_bus, ref_agents = build_bus(tiny_model.fleet)
+        ref = DualLoadCoordinator(ref_bus, retries=1)
+        ref.configure(p)
+        nu_ref = ref.solve(p)
+
+        bus, agents = self._late_bus(tiny_model.fleet, "price")
+        coord = DualLoadCoordinator(bus, retries=1)
+        coord.configure(p)
+        with pytest.raises(BusTimeoutError):
+            coord.solve(p)
+        stale = len(bus.late_acks)
+        assert stale == 2  # original + one retry, both answered late
+
+        bus.armed = False
+        nu = coord.solve(p)
+        assert nu == nu_ref
+        np.testing.assert_array_equal(
+            np.array([a.load for a in agents]),
+            np.array([a.load for a in ref_agents]),
+        )
+        # The parked replies stayed parked: exactly the timed-out round.
+        assert len(bus.late_acks) == stale

@@ -1,0 +1,352 @@
+"""Cross-process chaos for the sharded solver: seeded bus faults over real
+IPC, engine-level replay, and worker-death recovery.
+
+Three contracts (docs/SCALING.md):
+
+1. **Replay** -- a seeded :class:`FaultyMessageBus` in front of the shard
+   proxies produces real loss/delay/duplication across the process
+   boundary, and the whole run is a pure function of the seeds.
+2. **Fault absorption** -- in central draw mode every handler the retry
+   path re-delivers is idempotent, so when no round exhausts its retry
+   budget the chaos run lands bit-identically on the reliable answer.
+3. **Worker death is not a bus fault** -- SIGKILL of a shard worker at any
+   point (mid-solve included) is healed by respawn + state replay without
+   consuming the sender's retry budget; results stay bit-identical and the
+   kill is visible only in the respawn counter.
+
+The CLI test extends ``test_crash_recovery.py``: SIGKILL the whole
+checkpointed ``repro run --shards`` process tree mid-horizon, resume, and
+require bit-identity with an uninterrupted golden run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.cli import MANIFEST_NAME, _materialize_run
+from repro.core.coca import COCA
+from repro.faults import (
+    DegradationPolicy,
+    FaultInjector,
+    FaultSchedule,
+    FaultyMessageBus,
+)
+from repro.scenarios import small_scenario
+from repro.sim import simulate
+from repro.solvers import ShardedGSDSolver
+from repro.state import latest_valid_checkpoint, record_mismatches
+from tests.conftest import make_problem
+from tests.test_crash_recovery import _kill_mid_run, _spawn_run
+from tests.test_sharded import model9  # noqa: F401 (fixture)
+
+
+def faulty_factory(seed, *, loss=0.0, delay=0.0, duplicate=0.0):
+    """A per-solve bus factory salting ``seed`` with a solve counter, the
+    same discipline as :meth:`FaultInjector.bus_factory`."""
+    count = {"n": 0}
+
+    def factory():
+        salt = count["n"]
+        count["n"] += 1
+        return FaultyMessageBus(
+            loss=loss,
+            delay=delay,
+            duplicate=duplicate,
+            rng=np.random.default_rng([seed, salt]),
+        )
+
+    return factory
+
+
+def _chaos_solve(problem, *, seed=17, **kw):
+    with ShardedGSDSolver(
+        shards=3,
+        iterations=50,
+        rng=np.random.default_rng(seed),
+        retries=5,
+        **kw,
+    ) as solver:
+        sol = solver.solve(problem)
+        return sol, solver.last_bus
+
+
+class TestSeededChaosOverIPC:
+    def test_replay_is_bit_identical(self, model9):
+        p = make_problem(model9, lam_frac=0.5, q=8.0)
+        runs = []
+        for _ in range(2):
+            sol, bus = _chaos_solve(
+                p,
+                bus_factory=faulty_factory(11, loss=0.06, delay=0.04, duplicate=0.05),
+            )
+            runs.append((sol, bus.fault_stats()))
+        (a, stats_a), (b, stats_b) = runs
+        # The chaos was real...
+        assert stats_a["dropped"] + stats_a["delayed"] + stats_a["duplicated"] > 0
+        # ...and a pure function of the seeds.
+        assert stats_a == stats_b
+        np.testing.assert_array_equal(a.action.levels, b.action.levels)
+        np.testing.assert_array_equal(
+            a.action.per_server_load, b.action.per_server_load
+        )
+        assert a.info["final_objective"] == b.info["final_objective"]
+        assert a.info["bus_faults"] == b.info["bus_faults"]
+        assert a.info["retries_used"] == b.info["retries_used"]
+
+    def test_absorbed_faults_match_reliable_run(self, model9):
+        """Central-mode handlers are idempotent under re-delivery: as long
+        as no exchange exhausts its retries, the chaos run must land on
+        the reliable run's answer bit for bit."""
+        p = make_problem(model9, lam_frac=0.5, q=8.0)
+        reliable, _ = _chaos_solve(p)
+        chaotic, bus = _chaos_solve(
+            p, bus_factory=faulty_factory(23, loss=0.04, delay=0.03, duplicate=0.04)
+        )
+        stats = bus.fault_stats()
+        assert stats["dropped"] + stats["delayed"] + stats["duplicated"] > 0
+        np.testing.assert_array_equal(chaotic.action.levels, reliable.action.levels)
+        np.testing.assert_array_equal(
+            chaotic.action.per_server_load, reliable.action.per_server_load
+        )
+        assert chaotic.info["final_objective"] == reliable.info["final_objective"]
+        assert chaotic.info["evaluations"] == reliable.info["evaluations"]
+
+    def test_fault_injector_installs_onto_sharded(self):
+        sched = FaultSchedule.generate(
+            5, horizon=12, num_groups=9, loss=0.1, delay=0.05, duplicate=0.02
+        )
+        injector = FaultInjector(sched, num_groups=9)
+        with ShardedGSDSolver(shards=2, iterations=5) as solver:
+            assert injector.install(SimpleNamespace(solver=solver)) is True
+            assert solver.bus_factory == injector.bus_factory
+            assert solver.retries > 0
+            bus = solver.bus_factory()
+            assert isinstance(bus, FaultyMessageBus)
+
+
+class TestEngineChaosReplay:
+    def test_sharded_lossy_replay_bit_identical(self):
+        """Full simulate() with group failures and a lossy bus over IPC,
+        twice: the records must match field for field."""
+        scenario = small_scenario(horizon=24, seed=11)
+        sched = FaultSchedule.generate(
+            7,
+            horizon=scenario.horizon,
+            num_groups=scenario.model.fleet.num_groups,
+            failure_rate=0.05,
+            loss=0.08,
+            delay=0.03,
+            duplicate=0.02,
+        )
+        records = []
+        for _ in range(2):
+            solver = ShardedGSDSolver(
+                shards=2, iterations=8, rng=np.random.default_rng(5)
+            )
+            controller = COCA(
+                scenario.model,
+                scenario.environment.portfolio,
+                v_schedule=150.0,
+                alpha=scenario.alpha,
+                solver=solver,
+            )
+            try:
+                records.append(
+                    simulate(
+                        scenario.model,
+                        controller,
+                        scenario.environment,
+                        faults=sched,
+                        degradation=DegradationPolicy(retries=2),
+                    )
+                )
+            finally:
+                solver.close()
+        a, b = records
+        assert record_mismatches(a, b) == []
+        np.testing.assert_allclose(a.served + a.dropped, a.arrival_actual, rtol=1e-9)
+
+
+class _KillWorkerOnNthSend:
+    """A bus that SIGKILLs a shard worker just before delivering the Nth
+    message -- a deterministic mid-solve host failure."""
+
+    def __init__(self, pool, victim: int, nth: int):
+        from repro.solvers import MessageBus
+
+        self._bus = MessageBus()
+        self.pool = pool
+        self.victim = victim
+        self.nth = nth
+        self.sent = 0
+        self.killed = False
+
+    def __getattr__(self, name):
+        return getattr(self._bus, name)
+
+    def send(self, message):
+        self.sent += 1
+        if not self.killed and self.sent == self.nth:
+            handle = self.pool.worker(self.victim)
+            os.kill(handle.pid, signal.SIGKILL)
+            handle.process.join(timeout=10.0)
+            self.killed = True
+        return self._bus.send(message)
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkill_mid_solve_is_bit_identical(self, model9):
+        """Kill a worker between two bus deliveries mid-chain: the proxy
+        heals it (respawn + state replay) without burning the sender's
+        retry budget, and the answer does not move."""
+        p = make_problem(model9, lam_frac=0.5, q=8.0)
+        with ShardedGSDSolver(
+            shards=3, iterations=50, rng=np.random.default_rng(17)
+        ) as ref_solver:
+            ref = ref_solver.solve(p)
+
+        solver = ShardedGSDSolver(
+            shards=3, iterations=50, rng=np.random.default_rng(17), retries=0
+        )
+        killer = {}
+
+        def factory():
+            bus = _KillWorkerOnNthSend(solver.pool, victim=1, nth=25)
+            killer["bus"] = bus
+            return bus
+
+        solver.bus_factory = factory
+        try:
+            sol = solver.solve(p)
+        finally:
+            solver.close()
+        assert killer["bus"].killed, "the kill never fired; lower nth"
+        assert sol.info["sharding"]["respawns"] == 1
+        np.testing.assert_array_equal(sol.action.levels, ref.action.levels)
+        np.testing.assert_array_equal(
+            sol.action.per_server_load, ref.action.per_server_load
+        )
+        assert sol.info["final_objective"] == ref.info["final_objective"]
+        assert sol.info["evaluations"] == ref.info["evaluations"]
+
+    def test_sigkill_between_solves_is_bit_identical(self, model9):
+        p = make_problem(model9, lam_frac=0.45, q=5.0)
+        with ShardedGSDSolver(
+            shards=3, iterations=40, rng=np.random.default_rng(8)
+        ) as golden_solver:
+            golden_solver.solve(p)
+            want = golden_solver.solve(p)
+
+        with ShardedGSDSolver(
+            shards=3, iterations=40, rng=np.random.default_rng(8)
+        ) as solver:
+            solver.solve(p)
+            handle = solver.pool.worker(2)
+            os.kill(handle.pid, signal.SIGKILL)
+            handle.process.join(timeout=10.0)
+            got = solver.solve(p)
+            assert solver.pool.respawns == 1
+
+        np.testing.assert_array_equal(got.action.levels, want.action.levels)
+        np.testing.assert_array_equal(
+            got.action.per_server_load, want.action.per_server_load
+        )
+        assert got.info["final_objective"] == want.info["final_objective"]
+
+    def test_sigkill_under_chaos_bus_is_bit_identical(self, model9):
+        """Worker death and modeled bus faults compose: the respawn covers
+        the host failure, the seeded fault pattern stays untouched."""
+        p = make_problem(model9, lam_frac=0.5, q=8.0)
+        ref, _ = _chaos_solve(
+            p, bus_factory=faulty_factory(31, loss=0.05, delay=0.03)
+        )
+
+        solver = ShardedGSDSolver(
+            shards=3, iterations=50, rng=np.random.default_rng(17), retries=5
+        )
+        inner = faulty_factory(31, loss=0.05, delay=0.03)
+
+        def factory():
+            bus = inner()
+            killer = _KillWorkerOnNthSend(solver.pool, victim=0, nth=30)
+            killer._bus = bus
+            # Route sends through the killer, faults through the seeded bus.
+            return killer
+
+        solver.bus_factory = factory
+        try:
+            sol = solver.solve(p)
+        finally:
+            solver.close()
+        np.testing.assert_array_equal(sol.action.levels, ref.action.levels)
+        assert sol.info["final_objective"] == ref.info["final_objective"]
+        assert sol.info["sharding"]["respawns"] == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI: SIGKILL the whole sharded run, resume from checkpoints
+# ---------------------------------------------------------------------------
+def _shutdown(controller) -> None:
+    close = getattr(getattr(controller, "solver", None), "close", None)
+    if callable(close):
+        close()
+
+
+def _resume_and_diff_sharded(ckpt_dir):
+    """`test_crash_recovery._resume_and_diff`, with worker-pool teardown."""
+    with open(os.path.join(ckpt_dir, MANIFEST_NAME)) as fh:
+        manifest = json.load(fh)
+    ckpt = latest_valid_checkpoint(ckpt_dir)
+    assert ckpt is not None, "SIGKILL left no valid checkpoint behind"
+
+    scenario, controller, injector, policy = _materialize_run(manifest)
+    assert type(controller.solver).__name__ == "ShardedGSDSolver"
+    try:
+        resumed = simulate(
+            scenario.model,
+            controller,
+            scenario.environment,
+            faults=injector,
+            degradation=policy,
+            resume_from=ckpt,
+        )
+    finally:
+        _shutdown(controller)
+    scenario, controller, injector, policy = _materialize_run(manifest, scenario=scenario)
+    try:
+        golden = simulate(
+            scenario.model,
+            controller,
+            scenario.environment,
+            faults=injector,
+            degradation=policy,
+        )
+    finally:
+        _shutdown(controller)
+    assert record_mismatches(resumed, golden) == [], (
+        f"sharded resume from slot {ckpt.slot} diverged from the golden run"
+    )
+
+
+def test_cli_sigkill_then_resume_with_shards(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpts")
+    proc = _spawn_run(
+        [
+            "--horizon", "96",
+            "--seed", "7",
+            "--shards", "2",
+            "--iterations", "8",
+            "--checkpoint-dir", ckpt_dir,
+            "--checkpoint-every", "1",
+            "--checkpoint-keep", "3",
+            "--slot-sleep-ms", "40",
+        ]
+    )
+    _kill_mid_run(proc, ckpt_dir, min_checkpoints=3)
+    _resume_and_diff_sharded(ckpt_dir)
