@@ -1,0 +1,190 @@
+"""Learning-augmented advice benchmark: the certified (1+λ) gate.
+
+Three claims about :mod:`repro.advice` are checked end to end, on the
+named scenario pack (``repro scenarios``) plus the forecast
+overestimation sweep:
+
+1. **Certified robustness.**  On every scenario -- including the
+   adversarially flipped forecasts -- and at every λ in ``LAMBDAS``, the
+   advised run's total cost stays within ``(1+λ)×`` the plain-COCA
+   shadow run on the same traces.  This is the TrustGuard's inductive
+   budget invariant measured on *realized* cost, not the guard's own
+   accounting.
+2. **Consistency floor.**  Advice that is never trusted leaves the run
+   bit-identical to plain COCA (cost, brown energy, queue arrays equal)
+   -- the advice layer is free when it is off.
+3. **Graceful degradation.**  As forecast overestimation grows, the
+   guard advises fewer slots and the bound keeps holding at every sweep
+   point.
+
+The JSON report lands in ``benchmarks/results/BENCH_advice.json``; the
+deterministic counters (advised slots, budget blocks, transition counts)
+are trend-gated by the ``repro bench`` ledger (see
+``repro.profile.ledger.GATE_METRICS``).  With ``--check``, any bound
+violation or bit-identity failure exits non-zero -- the CI robustness
+gate.
+
+Run it directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_advice.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Robustness knobs the bound is certified at (0.25 is the pack default).
+LAMBDAS = (0.1, 0.25, 0.5)
+
+#: Forecast overestimation magnitudes for the sweep (bias factor 1+phi).
+PHIS = (0.0, 0.3, 0.8, 2.0)
+
+
+def measure(*, horizon: int, lam: float) -> dict:
+    from repro.advice import SCENARIOS, TrustGuard, run_scenario
+    from repro.advice.pack import neutral_v
+    from repro.analysis import advice_overestimation_sweep
+    from repro.scenarios import small_scenario
+
+    scenario = small_scenario(horizon=horizon)
+    v = neutral_v(scenario)
+
+    scenarios: dict[str, dict] = {}
+    for name in SCENARIOS:
+        started = time.perf_counter()
+        result = run_scenario(name, lam=lam, scenario=scenario, v=v)
+        row = result.to_dict()
+        guard = row.pop("guard")
+        row["wall_s"] = time.perf_counter() - started
+        row["advised_slots"] = int(guard["advised_slots"])
+        row["fallback_slots"] = int(guard["fallback_slots"])
+        row["budget_blocks"] = int(guard["budget_blocks"])
+        row["transition_count"] = len(guard["transitions"])
+        row["guard_ratio"] = float(guard["cost_ratio"])
+        scenarios[name] = row
+
+    # The λ knob: the adversarial scenario must respect every bound it is
+    # run under, including ones tighter than the pack default.
+    lambdas = []
+    for knob in LAMBDAS:
+        result = run_scenario(
+            "advice-adversarial", lam=knob, scenario=scenario, v=v
+        )
+        lambdas.append(
+            {
+                "lam": knob,
+                "cost_ratio": result.cost_ratio,
+                "bound": result.bound,
+                "bound_holds": result.bound_holds,
+            }
+        )
+
+    # Consistency floor: a guard that never trusts must leave the run
+    # bit-identical to plain COCA, faults and all.
+    never = run_scenario(
+        "advice-degrading",
+        lam=lam,
+        scenario=scenario,
+        v=v,
+        guard=TrustGuard(lam=lam, initial_trust=False, trust_after=10**9),
+    )
+
+    sweep = advice_overestimation_sweep(scenario, PHIS, lam=lam, v=v)
+
+    bound_holds = (
+        all(row["bound_holds"] for row in scenarios.values())
+        and all(row["bound_holds"] for row in lambdas)
+        and all(row["bound_holds"] for row in sweep)
+    )
+    return {
+        "benchmark": "advice",
+        "horizon": horizon,
+        "lam": lam,
+        "v": v,
+        "scenarios": scenarios,
+        "lambdas": lambdas,
+        "never_trusted_bit_identical": never.bit_identical,
+        "sweep": sweep,
+        "bound_holds_everywhere": bound_holds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--horizon", type=int, default=168,
+        help="slots per run (multiple of the 24-slot advice frame)",
+    )
+    parser.add_argument(
+        "--lam", type=float, default=0.25, help="pack robustness knob λ"
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=str(RESULTS_DIR / "BENCH_advice.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any (1+λ) bound violation or bit-identity failure",
+    )
+    args = parser.parse_args(argv)
+    if args.horizon < 24 or args.horizon % 24:
+        parser.error("--horizon must be a positive multiple of 24")
+
+    report = measure(horizon=args.horizon, lam=args.lam)
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, row in report["scenarios"].items():
+        print(
+            f"{name:20s} ratio {row['cost_ratio']:.4f} "
+            f"(bound {row['bound']:.2f}: "
+            f"{'holds' if row['bound_holds'] else 'VIOLATED'}), "
+            f"{row['advised_slots']}/{report['horizon']} advised, "
+            f"{row['transition_count']} transition(s)"
+        )
+    print(
+        f"λ sweep: "
+        + ", ".join(
+            f"λ={r['lam']:g} ratio {r['cost_ratio']:.4f}"
+            + ("" if r["bound_holds"] else " VIOLATED")
+            for r in report["lambdas"]
+        )
+    )
+    print(
+        "never-trusted bit identity: "
+        + ("ok" if report["never_trusted_bit_identical"] else "FAILED")
+    )
+    print(
+        "overestimation sweep: "
+        + ", ".join(
+            f"phi={r['phi']:g} ratio {r['cost_ratio']:.4f}"
+            + ("" if r["bound_holds"] else " VIOLATED")
+            for r in report["sweep"]
+        )
+    )
+    print(f"report -> {out}")
+
+    failed = []
+    if not report["bound_holds_everywhere"]:
+        failed.append("certified (1+λ) bound violated")
+    if not report["never_trusted_bit_identical"]:
+        failed.append("never-trusted run diverged from plain COCA")
+    if args.check and failed:
+        for reason in failed:
+            print(f"bench_advice: {reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Learning-augmented COCA: untrusted forecast advice with a certified
+robustness fallback.
+
+The layer has four pieces (see ``docs/ADVICE.md`` for the design):
+
+* :mod:`~repro.advice.forecast` — :class:`ForecastWindow` and the
+  providers that produce them (trace-backed, causal, feed-backed);
+* :mod:`~repro.advice.advisor` — :class:`ForecastAdvisor`, turning a
+  window into per-frame :class:`Advice` via the P2 frame solve;
+* :mod:`~repro.advice.trust` — :class:`TrustGuard`, the hysteresis trust
+  state plus the certified (1+λ) cost budget;
+* :mod:`~repro.advice.controller` — :class:`AdvisedController`, the
+  shadow-first wrapper around plain COCA;
+* :mod:`~repro.advice.pack` — the named scenario pack behind
+  ``repro scenarios``.
+
+The contract: with advice absent, disabled, or never trusted, an advised
+run is bit-identical to plain COCA; under any advice, committed cost never
+exceeds ``(1+λ)`` times the shadow cost.
+"""
+
+from .advisor import Advice, ForecastAdvisor
+from .controller import AdvisedController
+from .forecast import (
+    CausalForecastProvider,
+    FeedForecastProvider,
+    ForecastProvider,
+    ForecastWindow,
+    TraceForecastProvider,
+)
+from .pack import SCENARIOS, AdviceRunResult, list_scenarios, run_scenario
+from .trust import TrustGuard
+
+__all__ = [
+    "Advice",
+    "ForecastAdvisor",
+    "AdvisedController",
+    "TrustGuard",
+    "ForecastWindow",
+    "ForecastProvider",
+    "TraceForecastProvider",
+    "CausalForecastProvider",
+    "FeedForecastProvider",
+    "SCENARIOS",
+    "AdviceRunResult",
+    "list_scenarios",
+    "run_scenario",
+]

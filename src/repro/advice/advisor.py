@@ -1,0 +1,198 @@
+"""Turning forecast windows into per-frame advice.
+
+The :class:`ForecastAdvisor` solves the same frame problem as the P2
+oracle in :mod:`repro.baselines.lookahead` -- bisection on a frame
+multiplier ``mu`` over per-slot P3 solves -- but on a *forecast* window
+instead of the true traces.  The resulting ``mu`` is the advice: during
+the frame, the advised action for a slot is the P3 solution at
+``q = mu, V = 1`` on the slot's realized signals, exactly how
+:class:`~repro.baselines.lookahead.TStepLookahead` replays its oracle
+multipliers.  Good forecasts make this the near-optimal frame policy;
+bad forecasts make ``mu`` wrong, which the :class:`~repro.advice.trust.TrustGuard`
+detects through realized error and regret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.lookahead import _BISECT_ITERS, _frame_sweep
+from ..core.config import DataCenterModel
+from ..solvers.base import SlotSolver
+from .forecast import ForecastProvider, ForecastWindow
+
+__all__ = ["Advice", "ForecastAdvisor"]
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One frame's advice: the multiplier plus its planning context.
+
+    Attributes
+    ----------
+    start / length:
+        Frame coverage ``[start, start + length)``.
+    mu:
+        Frame multiplier on brown energy; the advised slot action is the
+        P3 solution at ``q = mu, V = 1``.
+    planned_cost / planned_brown:
+        Frame cost and brown energy the plan expects on the forecast.
+    budget:
+        Frame carbon budget the plan targeted (MWh).
+    feasible:
+        Whether the plan meets its budget *on the forecast* (an
+        infeasible plan is still advice -- trust decides its fate).
+    window:
+        The (possibly fault-degraded) forecast the plan was built from;
+        the controller scores realized error against it.
+    """
+
+    start: int
+    length: int
+    mu: float
+    planned_cost: float
+    planned_brown: float
+    budget: float
+    feasible: bool
+    window: ForecastWindow
+
+    def covers(self, t: int) -> bool:
+        return self.start <= t < self.start + self.length
+
+    def to_dict(self) -> dict:
+        return {
+            "start": int(self.start),
+            "length": int(self.length),
+            "mu": float(self.mu),
+            "planned_cost": float(self.planned_cost),
+            "planned_brown": float(self.planned_brown),
+            "budget": float(self.budget),
+            "feasible": bool(self.feasible),
+            "window": self.window.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Advice":
+        return cls(
+            start=int(data["start"]),
+            length=int(data["length"]),
+            mu=float(data["mu"]),
+            planned_cost=float(data["planned_cost"]),
+            planned_brown=float(data["planned_brown"]),
+            budget=float(data["budget"]),
+            feasible=bool(data["feasible"]),
+            window=ForecastWindow.from_dict(data["window"]),
+        )
+
+
+class ForecastAdvisor:
+    """Per-frame advice from forecast windows, via the P2 frame solve.
+
+    Parameters mirror :func:`~repro.baselines.lookahead.lookahead_optima`:
+    ``frame_length`` is ``T``, ``alpha`` scales the carbon budget, and the
+    frame budget is ``alpha * (frame off-site forecast + Z/R)`` with
+    ``Z/R`` prorated from the portfolio RECs over ``horizon / T`` frames.
+    """
+
+    def __init__(
+        self,
+        model: DataCenterModel,
+        portfolio,
+        *,
+        frame_length: int,
+        horizon: int,
+        provider: ForecastProvider,
+        alpha: float = 1.0,
+        solver: SlotSolver | None = None,
+    ) -> None:
+        if frame_length < 1:
+            raise ValueError(f"frame_length must be >= 1, got {frame_length}")
+        if horizon < 1 or horizon % frame_length != 0:
+            raise ValueError(
+                f"frame length {frame_length} must divide the horizon {horizon}"
+            )
+        self.model = model
+        self.portfolio = portfolio
+        self.frame_length = int(frame_length)
+        self.horizon = int(horizon)
+        self.provider = provider
+        self.alpha = float(alpha)
+        self.solver = solver
+        self.frames_advised = 0
+        self.frames_skipped = 0
+
+    # ------------------------------------------------------------------
+    def advise(self, start: int, window: ForecastWindow | None = None) -> Advice | None:
+        """Plan the frame starting at ``start`` from a forecast window.
+
+        ``window`` defaults to whatever the provider produces; passing it
+        explicitly lets the controller route the window through the fault
+        injector first.  Returns ``None`` when no window is available.
+        """
+        if window is None:
+            window = self.provider.window(start, self.frame_length)
+        if window is None:
+            self.frames_skipped += 1
+            return None
+        lam = np.maximum(window.arrival, 0.0)
+        onsite = np.maximum(window.onsite, 0.0)
+        price = window.price
+        T = window.length
+        R = self.horizon // self.frame_length
+        budget = self.alpha * (
+            float(np.maximum(window.offsite, 0.0).sum()) + self.portfolio.recs / R
+        )
+
+        mu, brown, cost, feasible = self._solve_frame(lam, onsite, price, budget)
+        self.frames_advised += 1
+        return Advice(
+            start=start,
+            length=T,
+            mu=mu,
+            planned_cost=cost,
+            planned_brown=brown,
+            budget=budget,
+            feasible=feasible,
+            window=window,
+        )
+
+    def _solve_frame(
+        self, lam, onsite, price, budget: float
+    ) -> tuple[float, float, float, bool]:
+        """Bisection on ``mu`` (the ``lookahead_optima`` inner loop)."""
+        brown0, cost0 = _frame_sweep(self.model, lam, onsite, price, 0.0, self.solver)
+        if brown0 <= budget:
+            return 0.0, brown0, cost0, True
+
+        hi = max(float(price.max()), 1.0)
+        brown_hi, cost_hi = _frame_sweep(self.model, lam, onsite, price, hi, self.solver)
+        while brown_hi > budget:
+            hi *= 4.0
+            if hi > 1e12:
+                # Even the max-penalty plan overshoots the forecast budget.
+                return hi, brown_hi, cost_hi, False
+            brown_hi, cost_hi = _frame_sweep(
+                self.model, lam, onsite, price, hi, self.solver
+            )
+        lo = 0.0
+        best = (brown_hi, cost_hi, hi)
+        for _ in range(_BISECT_ITERS):
+            mid = 0.5 * (lo + hi)
+            brown_m, cost_m = _frame_sweep(
+                self.model, lam, onsite, price, mid, self.solver
+            )
+            if brown_m > budget:
+                lo = mid
+            else:
+                hi = mid
+                best = (brown_m, cost_m, mid)
+        brown_f, cost_f, mu = best
+        return mu, brown_f, cost_f, True
+
+    def describe(self) -> str:
+        return (
+            f"advisor(T={self.frame_length}, alpha={self.alpha}, "
+            f"provider={self.provider.describe()})"
+        )

@@ -1,0 +1,258 @@
+"""Forecast windows and the providers that produce them.
+
+The advice layer consumes *windows*: for a frame starting at slot ``s``,
+per-slot forecasts of arrivals, on-site supply, price, and off-site supply
+over ``[s, s + T)``.  A :class:`ForecastProvider` is where those windows
+come from:
+
+===============================  =====================================
+:class:`TraceForecastProvider`   reads the environment's own traces --
+                                 perfect foresight, the "advice is
+                                 right" end of the consistency/
+                                 robustness trade-off (forecast faults
+                                 corrupt it downstream)
+:class:`CausalForecastProvider`  runs a :class:`repro.traces.forecast`
+                                 forecaster over the history observed so
+                                 far -- strictly causal, multi-step by
+                                 recursive one-step prediction
+:class:`FeedForecastProvider`    serve mode: windows arrive as optional
+                                 payloads on :class:`~repro.serve.signals.SignalFrame`
+                                 objects; a stale or missing payload
+                                 yields no window, which the controller
+                                 degrades to plain COCA
+===============================  =====================================
+
+Providers never see whether their windows were trusted; they only produce
+the advice channel's raw material.  Degradation (forecast faults, feed
+staleness) and trust live in :mod:`repro.advice.controller`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.forecast import Forecaster, SeasonalNaive
+
+__all__ = [
+    "ForecastWindow",
+    "ForecastProvider",
+    "TraceForecastProvider",
+    "CausalForecastProvider",
+    "FeedForecastProvider",
+]
+
+#: Series a window carries (also the wire-format keys in serve feeds).
+WINDOW_FIELDS = ("arrival", "onsite", "price", "offsite")
+
+
+@dataclass(frozen=True)
+class ForecastWindow:
+    """Per-slot forecasts over one frame ``[start, start + length)``."""
+
+    start: int
+    arrival: np.ndarray
+    onsite: np.ndarray
+    price: np.ndarray
+    offsite: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name in WINDOW_FIELDS:
+            object.__setattr__(
+                self, name, np.asarray(getattr(self, name), dtype=np.float64)
+            )
+        sizes = {getattr(self, name).size for name in WINDOW_FIELDS}
+        if len(sizes) != 1 or 0 in sizes:
+            raise ValueError(f"window series must share a positive length, got {sizes}")
+
+    @property
+    def length(self) -> int:
+        return int(self.arrival.size)
+
+    def as_fields(self) -> dict[str, np.ndarray]:
+        """The injector-facing view (see ``FaultInjector.degrade_forecast``)."""
+        return {name: getattr(self, name) for name in WINDOW_FIELDS}
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (the serve feed's ``forecast`` field)."""
+        out: dict = {"start": int(self.start)}
+        for name in WINDOW_FIELDS:
+            out[name] = [float(x) for x in getattr(self, name)]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ForecastWindow":
+        return cls(
+            start=int(data["start"]),
+            **{name: np.asarray(data[name], dtype=np.float64) for name in WINDOW_FIELDS},
+        )
+
+    @classmethod
+    def from_fields(cls, start: int, fields: dict[str, np.ndarray]) -> "ForecastWindow":
+        return cls(start=start, **{name: fields[name] for name in WINDOW_FIELDS})
+
+
+class ForecastProvider(ABC):
+    """Source of forecast windows for the advisor.
+
+    ``record_observation`` / ``record_offsite`` are the causal feedback
+    hooks -- the controller calls them every slot so history-driven
+    providers stay current; stateless providers inherit the no-ops.
+    """
+
+    @abstractmethod
+    def window(self, start: int, length: int) -> ForecastWindow | None:
+        """The forecast window for ``[start, start + length)``, or ``None``
+        when no (fresh) forecast is available for that frame."""
+
+    def record_observation(self, observation) -> None:
+        """One slot's realized observation (called after the frame's
+        window was produced, so history stays strictly causal)."""
+
+    def record_offsite(self, offsite: float) -> None:
+        """One slot's realized off-site supply (known end of slot)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class TraceForecastProvider(ForecastProvider):
+    """Perfect-foresight windows read from the environment's own traces.
+
+    This is deliberately the *best possible* advice: the consistency end
+    of the learning-augmented trade-off.  Scenario packs then degrade it
+    through seeded forecast faults to study the robustness end.  Reads the
+    environment's *predicted* workload (so overestimation studies feed the
+    advisor the same erred series the controller plans against).
+    """
+
+    def __init__(self, environment) -> None:
+        self.environment = environment
+
+    def window(self, start: int, length: int) -> ForecastWindow | None:
+        horizon = self.environment.horizon
+        if start < 0 or start >= horizon:
+            return None
+        stop = min(start + length, horizon)
+        sl = slice(start, stop)
+        return ForecastWindow(
+            start=start,
+            arrival=self.environment.predicted_workload.values[sl],
+            onsite=self.environment.portfolio.onsite.values[sl],
+            price=self.environment.price.values[sl],
+            offsite=self.environment.portfolio.offsite.values[sl],
+        )
+
+    def describe(self) -> str:
+        return f"trace({self.environment.horizon} slots)"
+
+
+class CausalForecastProvider(ForecastProvider):
+    """Windows forecast from observed history with a
+    :class:`~repro.traces.forecast.Forecaster`.
+
+    Multi-step forecasts come from recursive one-step prediction: the
+    forecaster predicts the next slot from history, the prediction is
+    appended, and the recursion continues -- for :class:`SeasonalNaive`
+    this reduces to "same hour yesterday", the right baseline for the
+    diurnal traces here.  Until any history exists the provider returns
+    no window, so frame 0 always runs plain COCA (strict causality).
+    """
+
+    def __init__(self, forecaster: Forecaster | None = None) -> None:
+        self.forecaster = forecaster if forecaster is not None else SeasonalNaive()
+        self._history: dict[str, list[float]] = {name: [] for name in WINDOW_FIELDS}
+
+    def record_observation(self, observation) -> None:
+        self._history["arrival"].append(float(observation.arrival_rate))
+        self._history["onsite"].append(float(observation.onsite))
+        self._history["price"].append(float(observation.price))
+
+    def record_offsite(self, offsite: float) -> None:
+        self._history["offsite"].append(float(offsite))
+
+    def _multistep(self, history: list[float], length: int) -> np.ndarray:
+        extended = list(history)
+        out = []
+        for _ in range(length):
+            # predict_series(values)[-1] predicts the last index from
+            # values[:-1], so the appended placeholder is never read.
+            series = np.asarray(extended + [extended[-1]], dtype=np.float64)
+            nxt = float(self.forecaster.predict_series(series)[-1])
+            out.append(max(nxt, 0.0))
+            extended.append(out[-1])
+        return np.asarray(out, dtype=np.float64)
+
+    def window(self, start: int, length: int) -> ForecastWindow | None:
+        if length < 1 or not self._history["arrival"]:
+            return None
+        fields = {}
+        for name in ("arrival", "onsite", "price"):
+            fields[name] = self._multistep(self._history[name], length)
+        # Off-site realizations lag observations by one slot; fall back to
+        # the on-site history length when none have been recorded yet.
+        offsite_hist = self._history["offsite"] or [0.0]
+        fields["offsite"] = self._multistep(offsite_hist, length)
+        return ForecastWindow(start=start, **fields)
+
+    def describe(self) -> str:
+        return f"causal({self.forecaster.name()})"
+
+    def state_dict(self) -> dict:
+        return {name: list(values) for name, values in self._history.items()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._history = {
+            name: [float(x) for x in state.get(name, [])] for name in WINDOW_FIELDS
+        }
+
+
+class FeedForecastProvider(ForecastProvider):
+    """Windows delivered by the serving feed, one per frame boundary.
+
+    :meth:`ingest` is called with every resolved frame's optional
+    ``forecast`` payload; :meth:`window` hands out the stored window only
+    when its ``start`` matches the requested frame -- a stale window (left
+    over from an earlier frame because the feed lost the fresh one) is
+    *not* reused, so staleness degrades to plain COCA instead of steering
+    the fleet with outdated advice.
+    """
+
+    def __init__(self) -> None:
+        self._window: ForecastWindow | None = None
+        self.ingested = 0
+        self.stale_rejected = 0
+
+    def ingest(self, payload: dict | None) -> None:
+        """Store a feed frame's forecast payload (``None`` = none aboard)."""
+        if payload is None:
+            return
+        self._window = ForecastWindow.from_dict(payload)
+        self.ingested += 1
+
+    def window(self, start: int, length: int) -> ForecastWindow | None:
+        window = self._window
+        if window is None:
+            return None
+        if window.start != start:
+            self.stale_rejected += 1
+            return None
+        return window
+
+    def describe(self) -> str:
+        return f"feed({self.ingested} windows)"
+
+    def state_dict(self) -> dict:
+        return {
+            "window": None if self._window is None else self._window.to_dict(),
+            "ingested": int(self.ingested),
+            "stale_rejected": int(self.stale_rejected),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        window = state.get("window")
+        self._window = None if window is None else ForecastWindow.from_dict(window)
+        self.ingested = int(state.get("ingested", 0))
+        self.stale_rejected = int(state.get("stale_rejected", 0))

@@ -1,0 +1,284 @@
+"""The declarative advice scenario pack behind ``repro scenarios``.
+
+Each scenario is one named, fully reproducible experiment: a
+:func:`~repro.scenarios.small_scenario` environment, an advised controller
+(COCA wrapped with a :class:`~repro.advice.controller.AdvisedController`),
+a plain-COCA reference run over the *same* traces and fault schedule, and
+the forecast-fault storyline that gives the scenario its name:
+
+``advice-good``
+    Perfect trace-backed forecasts, no faults -- the consistency end:
+    advice stays trusted and the advised run should match or beat plain
+    COCA.
+``advice-degrading``
+    The forecaster decays mid-run: a bias burst, then a dropout window,
+    then lead-time drift.  Exercises the trust hysteresis both ways.
+``advice-adversarial``
+    From the second frame on, forecasts are adversarially flipped
+    (high where reality is low).  The guard must fall back and the
+    certified bound must hold: advised cost ≤ (1+λ) × plain COCA.
+
+Every run is seeded and slot-deterministic, so scenario outputs are
+replayable by name -- ROADMAP item 3's declarative scenario pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.coca import COCA
+from ..faults.schedule import FaultEvent, FaultSchedule
+from ..scenarios import Scenario, small_scenario
+from ..sim.engine import simulate
+from ..sim.metrics import SimulationRecord
+from .controller import AdvisedController
+from .advisor import ForecastAdvisor
+from .forecast import TraceForecastProvider
+from .trust import TrustGuard
+
+__all__ = [
+    "SCENARIOS",
+    "AdviceScenarioSpec",
+    "AdviceRunResult",
+    "list_scenarios",
+    "run_scenario",
+]
+
+#: Pack-wide controller parameters (shared so runs are comparable).
+PACK_FRAME = 24
+PACK_HORIZON = 24 * 7
+
+
+@dataclass(frozen=True)
+class AdviceScenarioSpec:
+    """One named scenario: a storyline of forecast faults over a horizon."""
+
+    name: str
+    description: str
+    #: horizon -> forecast fault events (empty tuple = clean forecasts).
+    events: Callable[[int], tuple[FaultEvent, ...]] = field(repr=False)
+
+    def schedule(self, horizon: int) -> FaultSchedule | None:
+        events = self.events(horizon)
+        if not events:
+            return None
+        return FaultSchedule(events=events)
+
+
+def _good(horizon: int) -> tuple[FaultEvent, ...]:
+    return ()
+
+
+def _degrading(horizon: int) -> tuple[FaultEvent, ...]:
+    quarter = max(horizon // 4, PACK_FRAME)
+    return (
+        FaultEvent(t=quarter, kind="forecast", mode="bias",
+                   duration=quarter, magnitude=0.5),
+        FaultEvent(t=2 * quarter, kind="forecast", mode="dropout",
+                   duration=max(quarter // 2, 1)),
+        FaultEvent(t=2 * quarter + max(quarter // 2, 1), kind="forecast",
+                   mode="drift", duration=quarter, magnitude=0.7),
+    )
+
+
+def _adversarial(horizon: int) -> tuple[FaultEvent, ...]:
+    # Frame 0 plans on clean forecasts; everything after is flipped.
+    return (
+        FaultEvent(t=PACK_FRAME, kind="forecast", mode="adversarial",
+                   duration=max(horizon - PACK_FRAME, 1)),
+    )
+
+
+SCENARIOS: dict[str, AdviceScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        AdviceScenarioSpec(
+            name="advice-good",
+            description="perfect forecasts, no faults: advice stays trusted",
+            events=_good,
+        ),
+        AdviceScenarioSpec(
+            name="advice-degrading",
+            description="bias burst, dropout window, then drift: trust falls and recovers",
+            events=_degrading,
+        ),
+        AdviceScenarioSpec(
+            name="advice-adversarial",
+            description="adversarially flipped forecasts: certified (1+λ) fallback bound",
+            events=_adversarial,
+        ),
+    )
+}
+
+
+def list_scenarios() -> list[tuple[str, str]]:
+    """``(name, description)`` pairs, registry order."""
+    return [(s.name, s.description) for s in SCENARIOS.values()]
+
+
+@dataclass(frozen=True)
+class AdviceRunResult:
+    """Outcome of one scenario: the advised run against its plain shadow."""
+
+    name: str
+    lam: float
+    horizon: int
+    v: float
+    advised: SimulationRecord
+    plain: SimulationRecord
+    guard: dict
+
+    @property
+    def advised_cost(self) -> float:
+        return float(self.advised.cost.sum())
+
+    @property
+    def plain_cost(self) -> float:
+        return float(self.plain.cost.sum())
+
+    @property
+    def cost_ratio(self) -> float:
+        """Realized advised / plain total cost (the bench-gated quantity)."""
+        if self.plain_cost <= 0.0:
+            return 1.0
+        return self.advised_cost / self.plain_cost
+
+    @property
+    def bound(self) -> float:
+        return 1.0 + self.lam
+
+    @property
+    def bound_holds(self) -> bool:
+        return self.cost_ratio <= self.bound + 1e-9
+
+    @property
+    def bit_identical(self) -> bool:
+        """Whether the advised run committed plain COCA's actions everywhere."""
+        return bool(
+            np.array_equal(self.advised.cost, self.plain.cost)
+            and np.array_equal(self.advised.brown_energy, self.plain.brown_energy)
+            and np.array_equal(self.advised.queue, self.plain.queue)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "lam": self.lam,
+            "horizon": self.horizon,
+            "v": self.v,
+            "advised_cost": self.advised_cost,
+            "plain_cost": self.plain_cost,
+            "cost_ratio": self.cost_ratio,
+            "bound": self.bound,
+            "bound_holds": self.bound_holds,
+            "bit_identical": self.bit_identical,
+            "advised_brown": float(self.advised.brown_energy.sum()),
+            "plain_brown": float(self.plain.brown_energy.sum()),
+            "guard": self.guard,
+        }
+
+
+def neutral_v(scenario: Scenario) -> float:
+    """The pack's ``V`` calibration: the largest constant ``V`` for which
+    plain COCA still reaches carbon neutrality on the scenario (the
+    paper's own "appropriately choose V" rule).  Deterministic, so every
+    scenario run on the same environment uses the same ``V``."""
+    from ..analysis import find_neutral_v
+
+    return find_neutral_v(scenario, iters=8)
+
+
+def build_advised(
+    scenario: Scenario,
+    *,
+    v: float,
+    lam: float = 0.25,
+    frame_length: int = PACK_FRAME,
+    guard: TrustGuard | None = None,
+) -> AdvisedController:
+    """The pack's advised controller: trace-backed advice over COCA."""
+    inner = COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=v,
+        alpha=scenario.alpha,
+    )
+    advisor = ForecastAdvisor(
+        scenario.model,
+        scenario.environment.portfolio,
+        frame_length=frame_length,
+        horizon=scenario.horizon,
+        provider=TraceForecastProvider(scenario.environment),
+        alpha=scenario.alpha,
+    )
+    if guard is None:
+        guard = TrustGuard(lam=lam)
+    return AdvisedController(inner, advisor=advisor, guard=guard)
+
+
+def build_plain(scenario: Scenario, *, v: float) -> COCA:
+    """The reference controller the bound is measured against."""
+    return COCA(
+        scenario.model,
+        scenario.environment.portfolio,
+        v_schedule=v,
+        alpha=scenario.alpha,
+    )
+
+
+def run_scenario(
+    name: str,
+    *,
+    horizon: int = PACK_HORIZON,
+    lam: float = 0.25,
+    scenario: Scenario | None = None,
+    v: float | None = None,
+    telemetry=None,
+    guard: TrustGuard | None = None,
+) -> AdviceRunResult:
+    """Run one named scenario and its plain-COCA reference.
+
+    Both runs share the environment, the (neutrality-calibrated) ``V``,
+    and the fault schedule (forecast faults only touch the advice
+    channel, so the plain run doubles as the clean reference).
+    ``telemetry`` instruments the advised run -- that is where the
+    ``advice.*`` stream and its monitors live.
+    """
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})")
+    spec = SCENARIOS[name]
+    if scenario is None:
+        scenario = small_scenario(horizon=horizon)
+    horizon = scenario.horizon
+    if horizon % PACK_FRAME != 0:
+        raise ValueError(f"scenario horizon {horizon} must be a multiple of {PACK_FRAME}")
+    if v is None:
+        v = neutral_v(scenario)
+
+    advised_controller = build_advised(scenario, v=v, lam=lam, guard=guard)
+    advised = simulate(
+        scenario.model,
+        advised_controller,
+        scenario.environment,
+        faults=spec.schedule(horizon),
+        telemetry=telemetry,
+    )
+    plain = simulate(
+        scenario.model,
+        build_plain(scenario, v=v),
+        scenario.environment,
+        faults=spec.schedule(horizon),
+    )
+    return AdviceRunResult(
+        name=name,
+        lam=lam,
+        horizon=horizon,
+        v=v,
+        advised=advised,
+        plain=plain,
+        guard=advised_controller.guard.summary(),
+    )

@@ -1,0 +1,210 @@
+"""Online trust tracking with hysteresis and a certified cost budget.
+
+The :class:`TrustGuard` decides, every slot, whether the advised action
+or the shadow (plain-COCA) action is committed.  Two mechanisms compose:
+
+**Hysteresis trust state.**  A slot is *bad* when advice is absent, the
+EWMA of realized forecast error exceeds ``error_threshold``, or the
+advised slot cost exceeds ``(1 + regret_threshold)`` times the shadow
+cost.  ``distrust_after`` consecutive bad slots flip the guard to
+untrusted; ``trust_after`` consecutive good slots flip it back.  Streaks
+reset on every transition, so two transitions are always at least
+``min(distrust_after, trust_after)`` slots apart -- the no-flapping
+property the hypothesis suite pins down.
+
+**Certified (1+λ) budget.**  Independent of the trust state, an advised
+action is committed only if doing so keeps
+
+    committed_cost + advised_slot ≤ (1 + λ) · (shadow_cost + shadow_slot)
+
+When the advised action is rejected (by trust or by budget) the shadow
+action is committed, and both sides of the inequality grow by the same
+shadow slot cost -- so the invariant ``committed ≤ (1+λ)·shadow`` holds
+inductively at every slot, for *any* advice sequence.  That is the
+worst-case robustness bound `bench_advice` gates on; it follows the
+budget-check pattern of LACS (arXiv 2404.15211).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TrustGuard"]
+
+
+class TrustGuard:
+    """Per-slot advice gating: hysteresis trust plus a (1+λ) cost budget.
+
+    Parameters
+    ----------
+    lam:
+        Robustness knob λ ≥ 0.  Committed cost never exceeds
+        ``(1 + lam)`` times the cost plain COCA would have paid on the
+        same run.  ``lam = 0`` disables advice entirely (any positive
+        advised excess would break the budget).
+    error_threshold:
+        EWMA relative forecast error above which a slot counts as bad.
+    regret_threshold:
+        Relative advised-vs-shadow slot cost excess above which a slot
+        counts as bad.
+    distrust_after / trust_after:
+        Hysteresis streak lengths (bad slots to distrust, good slots to
+        re-trust).  ``trust_after`` should be the larger: distrust fast,
+        re-trust slowly.
+    error_alpha:
+        EWMA smoothing weight for the realized forecast error.
+    initial_trust:
+        Whether the guard starts out trusting advice.
+    """
+
+    def __init__(
+        self,
+        *,
+        lam: float = 0.25,
+        error_threshold: float = 0.35,
+        regret_threshold: float = 0.30,
+        distrust_after: int = 3,
+        trust_after: int = 12,
+        error_alpha: float = 0.3,
+        initial_trust: bool = True,
+    ) -> None:
+        if lam < 0.0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        if error_threshold <= 0.0 or regret_threshold < 0.0:
+            raise ValueError("thresholds must be positive")
+        if distrust_after < 1 or trust_after < 1:
+            raise ValueError("hysteresis streaks must be >= 1")
+        if not 0.0 < error_alpha <= 1.0:
+            raise ValueError(f"error_alpha must be in (0, 1], got {error_alpha}")
+        self.lam = float(lam)
+        self.error_threshold = float(error_threshold)
+        self.regret_threshold = float(regret_threshold)
+        self.distrust_after = int(distrust_after)
+        self.trust_after = int(trust_after)
+        self.error_alpha = float(error_alpha)
+        self.initial_trust = bool(initial_trust)
+
+        self.trusted = bool(initial_trust)
+        self.error_ewma = 0.0
+        self._bad_streak = 0
+        self._good_streak = 0
+        # Cost accounting for the certified budget.
+        self.committed_cost = 0.0
+        self.shadow_cost = 0.0
+        self.advised_slots = 0
+        self.fallback_slots = 0
+        self.budget_blocks = 0
+        self.transitions: list[tuple[int, bool]] = []
+
+    # ------------------------------------------------------------------
+    def assess(
+        self,
+        t: int,
+        *,
+        error: float | None,
+        advised_cost: float | None,
+        shadow_cost: float,
+        has_advice: bool,
+    ) -> bool:
+        """Gate one slot; returns ``True`` iff the advised action commits.
+
+        ``error`` is the realized relative forecast error for the slot
+        (``None`` when no forecast covered it), ``advised_cost`` /
+        ``shadow_cost`` the slot costs of the advised and plain actions.
+        The caller commits whichever action this returns and must report
+        the same costs it passed in -- the guard does its own accounting.
+        """
+        shadow_cost = float(shadow_cost)
+        if error is not None:
+            self.error_ewma += self.error_alpha * (float(error) - self.error_ewma)
+
+        regret_bad = False
+        if advised_cost is not None and shadow_cost > 0.0:
+            regret_bad = float(advised_cost) > (1.0 + self.regret_threshold) * shadow_cost
+        bad = (
+            not has_advice
+            or advised_cost is None
+            or self.error_ewma > self.error_threshold
+            or regret_bad
+        )
+        self._update_state(t, bad)
+
+        use_advice = self.trusted and has_advice and advised_cost is not None
+        if use_advice:
+            # Certified budget: committing must preserve
+            # committed <= (1+lam) * shadow after this slot.
+            allowed = (1.0 + self.lam) * (self.shadow_cost + shadow_cost)
+            if self.committed_cost + float(advised_cost) > allowed:
+                use_advice = False
+                self.budget_blocks += 1
+
+        self.shadow_cost += shadow_cost
+        if use_advice:
+            self.committed_cost += float(advised_cost)
+            self.advised_slots += 1
+        else:
+            self.committed_cost += shadow_cost
+            self.fallback_slots += 1
+        return use_advice
+
+    def _update_state(self, t: int, bad: bool) -> None:
+        if bad:
+            self._bad_streak += 1
+            self._good_streak = 0
+            if self.trusted and self._bad_streak >= self.distrust_after:
+                self.trusted = False
+                self._bad_streak = 0
+                self.transitions.append((t, False))
+        else:
+            self._good_streak += 1
+            self._bad_streak = 0
+            if not self.trusted and self._good_streak >= self.trust_after:
+                self.trusted = True
+                self._good_streak = 0
+                self.transitions.append((t, True))
+
+    # ------------------------------------------------------------------
+    @property
+    def cost_ratio(self) -> float:
+        """Committed / shadow cost so far (1.0 before any cost accrues)."""
+        if self.shadow_cost <= 0.0:
+            return 1.0
+        return self.committed_cost / self.shadow_cost
+
+    def summary(self) -> dict:
+        return {
+            "lam": self.lam,
+            "trusted": self.trusted,
+            "error_ewma": self.error_ewma,
+            "committed_cost": self.committed_cost,
+            "shadow_cost": self.shadow_cost,
+            "cost_ratio": self.cost_ratio,
+            "advised_slots": self.advised_slots,
+            "fallback_slots": self.fallback_slots,
+            "budget_blocks": self.budget_blocks,
+            "transitions": [[int(t), bool(up)] for t, up in self.transitions],
+        }
+
+    def state_dict(self) -> dict:
+        return {
+            "trusted": self.trusted,
+            "error_ewma": self.error_ewma,
+            "bad_streak": self._bad_streak,
+            "good_streak": self._good_streak,
+            "committed_cost": self.committed_cost,
+            "shadow_cost": self.shadow_cost,
+            "advised_slots": self.advised_slots,
+            "fallback_slots": self.fallback_slots,
+            "budget_blocks": self.budget_blocks,
+            "transitions": [[int(t), bool(up)] for t, up in self.transitions],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.trusted = bool(state["trusted"])
+        self.error_ewma = float(state["error_ewma"])
+        self._bad_streak = int(state["bad_streak"])
+        self._good_streak = int(state["good_streak"])
+        self.committed_cost = float(state["committed_cost"])
+        self.shadow_cost = float(state["shadow_cost"])
+        self.advised_slots = int(state["advised_slots"])
+        self.fallback_slots = int(state["fallback_slots"])
+        self.budget_blocks = int(state["budget_blocks"])
+        self.transitions = [(int(t), bool(up)) for t, up in state["transitions"]]

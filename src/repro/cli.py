@@ -649,6 +649,87 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+# -------------------------------------------------------------- scenarios
+def _cmd_scenarios_list(args) -> int:
+    from .advice import list_scenarios
+
+    for name, description in list_scenarios():
+        print(f"{name:20s} {description}")
+    return 0
+
+
+def _cmd_scenarios_run(args) -> int:
+    import json
+
+    from .advice import run_scenario
+    from .monitor import default_suite
+    from .monitor.suite import MonitoringTracer
+    from .telemetry import JsonlTracer, Telemetry
+
+    # The monitor tap sits on the advised run's trace path, so the
+    # advice-trust monitor (and the rest of the default suite) sees the
+    # scenario live -- exactly the wiring `repro chaos` uses.
+    suite = default_suite()
+    tracer = JsonlTracer(args.trace_out) if args.trace_out else None
+    telemetry = Telemetry(tracer=MonitoringTracer(suite, tracer))
+    try:
+        result = run_scenario(
+            args.name, horizon=args.horizon, lam=args.lam, telemetry=telemetry
+        )
+    except (KeyError, ValueError) as exc:
+        reason = exc.args[0] if exc.args else exc
+        print(f"repro scenarios: {reason}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    suite.finalize()
+    if tracer is not None:
+        tracer.close()
+
+    reports = suite.reports()
+    passing = sum(1 for r in reports if r.passed)
+    guard = result.guard
+    if args.json:
+        payload = result.to_dict()
+        payload["monitors"] = {
+            "passing": passing,
+            "total": len(reports),
+            "failed": [r.monitor for r in reports if not r.passed],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"scenario {result.name}: {result.horizon} slots, "
+            f"λ={result.lam:g}, V={result.v:.4g}"
+        )
+        print(
+            f"advised ${result.advised_cost:,.0f} vs plain ${result.plain_cost:,.0f}"
+            f" -> ratio {result.cost_ratio:.4f} "
+            f"(bound {result.bound:.2f}: "
+            f"{'holds' if result.bound_holds else 'VIOLATED'})"
+        )
+        print(
+            f"advice: {guard['advised_slots']}/{result.horizon} slots advised, "
+            f"{guard['budget_blocks']} budget block(s), "
+            f"{len(guard['transitions'])} trust transition(s), "
+            f"final {'trusted' if guard['trusted'] else 'untrusted'}"
+        )
+        if tracer is not None:
+            print(f"trace written to {args.trace_out} ({tracer.count} events)")
+        print(f"monitors: {passing}/{len(reports)} passing")
+    for report in reports:
+        if not report.passed:
+            print(f"  FAIL {report.monitor}: {report.detail}", file=sys.stderr)
+    if not result.bound_holds:
+        print(
+            f"repro scenarios: certified bound VIOLATED "
+            f"(ratio {result.cost_ratio:.4f} > {result.bound:.2f})",
+            file=sys.stderr,
+        )
+        return EXIT_MONITOR_CRITICAL
+    if args.strict and passing < len(reports):
+        return EXIT_MONITOR_CRITICAL
+    return 0
+
+
 # ------------------------------------------------------------ run / resume
 #: Manifest file a checkpointed run writes next to its checkpoints; resume
 #: rebuilds the identical scenario/controller/fault stack from it.
@@ -714,6 +795,32 @@ def _materialize_run(manifest: dict, scenario=None):
         alpha=scenario.alpha,
         solver=solver,
     )
+    advice = run.get("advice")
+    if advice:
+        # Advice-augmented runs wrap the same COCA in an AdvisedController
+        # fed from the signal frames; a feed that never delivers forecast
+        # payloads leaves the run bit-identical to the plain controller,
+        # so a batch `repro resume` of an advised serve checkpoint is safe.
+        from .advice import (
+            AdvisedController,
+            FeedForecastProvider,
+            ForecastAdvisor,
+            TrustGuard,
+        )
+
+        advisor = ForecastAdvisor(
+            scenario.model,
+            scenario.environment.portfolio,
+            frame_length=int(advice["frame"]),
+            horizon=scenario.horizon,
+            provider=FeedForecastProvider(),
+            alpha=scenario.alpha,
+        )
+        controller = AdvisedController(
+            controller,
+            advisor=advisor,
+            guard=TrustGuard(lam=float(advice["lam"])),
+        )
     injector = policy = None
     if manifest.get("schedule") is not None:
         schedule = FaultSchedule.from_dict(manifest["schedule"])
@@ -1013,8 +1120,12 @@ def _load_manifest_or_fail(command: str, checkpoint_dir: str) -> dict | None:
         return None
 
 
-def _serve_build_feed(config, scenario):
+def _serve_build_feed(config, scenario, advice_frame=None):
     """(source, environment, injector, policy) for the configured feed.
+
+    ``advice_frame`` (slots) makes the replay/synthetic sources attach a
+    forecast payload to every frame-boundary signal frame; file feeds
+    carry whatever payloads were written into them.
 
     Replay wraps the scenario's own environment (base-backed, so its
     checkpoints are interchangeable with batch ``repro run``) and attaches
@@ -1033,14 +1144,17 @@ def _serve_build_feed(config, scenario):
     )
 
     if config.source == "replay":
-        source = ReplaySignalSource(scenario.environment)
+        source = ReplaySignalSource(scenario.environment, advice_frame=advice_frame)
         environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
         return source, environment, None, None
     if config.source == "file":
         source = FileTailSignalSource(config.feed)
     else:
         source = SyntheticSignalSource(
-            scenario.environment, seed=config.source_seed, **config.synthetic
+            scenario.environment,
+            seed=config.source_seed,
+            advice_frame=advice_frame,
+            **config.synthetic,
         )
     environment = LiveEnvironment(scenario.horizon)
     injector = FaultInjector(
@@ -1139,6 +1253,17 @@ def _cmd_serve(args) -> int:
             "budget_fraction": args.budget_fraction,
         }
         scenario = _scenario_from_manifest(scenario_cfg)
+        if args.advice:
+            if args.advice_lam < 0:
+                print("repro serve: --advice-lam must be >= 0", file=sys.stderr)
+                return EXIT_BAD_INPUT
+            if args.advice_frame < 1 or scenario.horizon % args.advice_frame:
+                print(
+                    f"repro serve: --advice-frame {args.advice_frame} must "
+                    f"divide the horizon ({scenario.horizon})",
+                    file=sys.stderr,
+                )
+                return EXIT_BAD_INPUT
         manifest = {
             "format": _MANIFEST_FORMAT,
             "version": 1,
@@ -1155,6 +1280,14 @@ def _cmd_serve(args) -> int:
                 "fallback": config.fallback,
                 "retries": config.retries,
                 "solve_deadline_ms": config.solve_deadline_ms,
+                # Advice identity lives in the run block so both serve
+                # --resume and batch `repro resume` rebuild the same
+                # (possibly advised) controller stack.
+                "advice": (
+                    {"lam": args.advice_lam, "frame": args.advice_frame}
+                    if args.advice
+                    else None
+                ),
             },
             "schedule": None,
             "checkpoint": {
@@ -1170,8 +1303,19 @@ def _cmd_serve(args) -> int:
             },
         }
 
-    source, environment, injector, policy = _serve_build_feed(config, scenario)
+    advice_cfg = manifest["run"].get("advice")
+    source, environment, injector, policy = _serve_build_feed(
+        config,
+        scenario,
+        advice_frame=int(advice_cfg["frame"]) if advice_cfg else None,
+    )
     _, controller, _, _ = _materialize_run(manifest, scenario=scenario)
+    if advice_cfg:
+        print(
+            f"advice: enabled (λ={float(advice_cfg['lam']):g}, "
+            f"frame={int(advice_cfg['frame'])} slots; untrusted advice "
+            "falls back to plain COCA)"
+        )
 
     # Alerts stream to stderr as monitors raise them; --alert-rearm re-arms
     # a persisting condition every N slots instead of once per run.
@@ -1243,7 +1387,10 @@ def _cmd_serve(args) -> int:
         if config.source == "replay":
             frames = [
                 f
-                for f in frames_from_environment(scenario.environment)
+                for f in frames_from_environment(
+                    scenario.environment,
+                    advice_frame=int(advice_cfg["frame"]) if advice_cfg else None,
+                )
                 if f.slot < ckpt.slot
             ]
         else:
@@ -1724,6 +1871,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="slot-solve retries before falling back",
     )
     p.add_argument(
+        "--advice",
+        action="store_true",
+        help="wrap the controller with the learning-augmented advice layer "
+        "(forecast payloads from the feed; see docs/ADVICE.md)",
+    )
+    p.add_argument(
+        "--advice-lam", type=float, default=0.25, metavar="L",
+        help="robustness knob λ: committed cost never exceeds (1+λ)× plain "
+        "COCA",
+    )
+    p.add_argument(
+        "--advice-frame", type=int, default=24, metavar="T",
+        help="advice frame length in slots (must divide the horizon)",
+    )
+    p.add_argument(
         "--slot-period-s", type=float, default=0.0, metavar="S",
         help="wall-clock pacing per slot (0 = free-running)",
     )
@@ -1822,6 +1984,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 2 when any invariant monitor fails (CI gating)",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="named learning-augmented advice scenarios (docs/ADVICE.md)",
+    )
+    ssub = p.add_subparsers(dest="scenarios_cmd", required=True, metavar="COMMAND")
+    sp = ssub.add_parser("list", help="list the scenario pack")
+    sp.set_defaults(func=_cmd_scenarios_list)
+    sp = ssub.add_parser(
+        "run",
+        help="run one named scenario against its plain-COCA shadow",
+    )
+    sp.add_argument("name", help="scenario name (see `repro scenarios list`)")
+    sp.add_argument(
+        "--lam", type=float, default=0.25, metavar="L",
+        help="robustness knob λ: advised cost is certified ≤ (1+λ)× plain",
+    )
+    sp.add_argument(
+        "--horizon", type=int, default=24 * 7,
+        help="slots to run (must be a multiple of the 24-slot advice frame)",
+    )
+    sp.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the advised run's JSONL event trace (advice.* stream)",
+    )
+    sp.add_argument(
+        "--json", action="store_true",
+        help="print the full result (costs, bound, guard summary) as JSON",
+    )
+    sp.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 when any invariant monitor fails (CI gating); the "
+        "certified (1+λ) bound is always enforced",
+    )
+    sp.set_defaults(func=_cmd_scenarios_run)
 
     return parser
 

@@ -19,10 +19,17 @@ See ``docs/TESTING.md`` for the chaos-testing workflow and
 from .bus import FaultyMessageBus
 from .degradation import DegradationPolicy, proportional_action
 from .injector import FaultInjector
-from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule, MessageFaultProfile
+from .schedule import (
+    FAULT_KINDS,
+    FORECAST_MODES,
+    FaultEvent,
+    FaultSchedule,
+    MessageFaultProfile,
+)
 
 __all__ = [
     "FAULT_KINDS",
+    "FORECAST_MODES",
     "FaultEvent",
     "FaultSchedule",
     "MessageFaultProfile",

@@ -6,8 +6,9 @@ ROADMAP's "as many scenarios as you can imagine") needs faults that arrive
 the single source of truth for one chaos scenario:
 
 * **timed events** (:class:`FaultEvent`): server-group failures and
-  repairs, and stale/missing exogenous signals (price, on-site renewables,
-  the workload prediction);
+  repairs, stale/missing exogenous signals (price, on-site renewables,
+  the workload prediction), and degraded *forecasts* (bias, drift,
+  dropout, adversarial flips on the :mod:`repro.advice` channel);
 * a **message-fault profile** (:class:`MessageFaultProfile`): seeded
   loss/delay/duplication probabilities applied to every message of the
   distributed protocol in :mod:`repro.solvers.messaging`.
@@ -27,10 +28,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FaultEvent", "MessageFaultProfile", "FaultSchedule", "FAULT_KINDS"]
+__all__ = [
+    "FaultEvent",
+    "MessageFaultProfile",
+    "FaultSchedule",
+    "FAULT_KINDS",
+    "FORECAST_MODES",
+]
 
 #: Timed event kinds a schedule may contain.
-FAULT_KINDS = ("group_fail", "group_repair", "signal")
+FAULT_KINDS = ("group_fail", "group_repair", "signal", "forecast")
 
 #: Observation fields a ``signal`` event may degrade.
 SIGNAL_FIELDS = ("price", "onsite", "arrival")
@@ -39,6 +46,16 @@ SIGNAL_FIELDS = ("price", "onsite", "arrival")
 #: last clean value; ``missing`` drops it entirely (price/arrival fall back
 #: to hold-last-value, on-site supply conservatively to zero).
 SIGNAL_MODES = ("stale", "missing")
+
+#: Degradation modes for ``forecast`` faults, which corrupt the advice
+#: channel (:mod:`repro.advice`) rather than the slot observation:
+#: ``bias`` scales the forecast arrivals by ``1 + magnitude``; ``drift``
+#: applies a bias that grows linearly with lead time (reaching
+#: ``magnitude`` at the end of the window); ``dropout`` loses the forecast
+#: entirely (the advisor produces no advice); ``adversarial`` reflects
+#: arrival/price/on-site forecasts around their window midpoints, turning
+#: the advice actively anti-correlated with reality.
+FORECAST_MODES = ("bias", "drift", "dropout", "adversarial")
 
 
 @dataclass(frozen=True)
@@ -56,10 +73,14 @@ class FaultEvent:
     field:
         Degraded observation field (``signal``); see :data:`SIGNAL_FIELDS`.
     mode:
-        ``"stale"`` or ``"missing"`` (``signal``).
+        ``"stale"`` or ``"missing"`` (``signal``); one of
+        :data:`FORECAST_MODES` (``forecast``).
     duration:
-        Number of slots a ``signal`` fault stays active (failures persist
-        until an explicit ``group_repair``).
+        Number of slots a ``signal``/``forecast`` fault stays active
+        (failures persist until an explicit ``group_repair``).
+    magnitude:
+        Severity of a ``forecast`` ``bias``/``drift`` fault (relative
+        error injected into the forecast; defaults to 0.25).
     """
 
     t: int
@@ -68,6 +89,7 @@ class FaultEvent:
     field: str | None = None
     mode: str | None = None
     duration: int = 1
+    magnitude: float | None = None
 
     def __post_init__(self) -> None:
         if self.t < 0:
@@ -88,6 +110,21 @@ class FaultEvent:
                 )
             if self.duration < 1:
                 raise ValueError("signal fault duration must be >= 1 slot")
+        if self.kind == "forecast":
+            if self.mode not in FORECAST_MODES:
+                raise ValueError(
+                    f"forecast fault mode must be one of {FORECAST_MODES}, got {self.mode!r}"
+                )
+            if self.duration < 1:
+                raise ValueError("forecast fault duration must be >= 1 slot")
+            if self.mode in ("bias", "drift"):
+                magnitude = 0.25 if self.magnitude is None else float(self.magnitude)
+                if not magnitude > -1.0 or magnitude == 0.0:
+                    raise ValueError(
+                        f"forecast {self.mode} magnitude must be > -1 and non-zero, "
+                        f"got {magnitude}"
+                    )
+                object.__setattr__(self, "magnitude", magnitude)
 
     def to_dict(self) -> dict:
         """Flat JSON-safe representation (``None`` fields omitted)."""
@@ -98,13 +135,15 @@ class FaultEvent:
             out["field"] = self.field
         if self.mode is not None:
             out["mode"] = self.mode
-        if self.kind == "signal":
+        if self.kind in ("signal", "forecast"):
             out["duration"] = int(self.duration)
+        if self.magnitude is not None:
+            out["magnitude"] = float(self.magnitude)
         return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
-        known = {"t", "kind", "group", "field", "mode", "duration"}
+        known = {"t", "kind", "group", "field", "mode", "duration", "magnitude"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown fault event keys: {sorted(unknown)}")
@@ -115,6 +154,9 @@ class FaultEvent:
             field=data.get("field"),
             mode=data.get("mode"),
             duration=int(data.get("duration", 1)),
+            magnitude=(
+                None if data.get("magnitude") is None else float(data["magnitude"])
+            ),
         )
 
 
@@ -285,6 +327,7 @@ class FaultSchedule:
         failure_rate: float = 0.01,
         mean_repair: float = 6.0,
         signal_rate: float = 0.0,
+        forecast_rate: float = 0.0,
         loss: float = 0.0,
         delay: float = 0.0,
         duplicate: float = 0.0,
@@ -296,8 +339,12 @@ class FaultSchedule:
         ``mean_repair`` slots); at most ``num_groups - 1`` groups are ever
         down together, so the fleet always retains some capacity.  With
         probability ``signal_rate`` per slot one observation field degrades
-        for 1-3 slots.  The message profile reuses ``seed`` so the whole
-        scenario hangs off a single integer.
+        for 1-3 slots, and with probability ``forecast_rate`` per slot the
+        advice channel degrades (a random :data:`FORECAST_MODES` mode, a
+        magnitude in [0.1, 0.6) for bias/drift, lasting 1-24 slots).  The
+        message profile reuses ``seed`` so the whole scenario hangs off a
+        single integer.  ``forecast_rate=0.0`` draws nothing from the RNG,
+        so pre-existing seeds keep generating bit-identical schedules.
         """
         if horizon < 1 or num_groups < 1:
             raise ValueError("horizon and num_groups must be positive")
@@ -307,6 +354,8 @@ class FaultSchedule:
             raise ValueError("mean_repair must be >= 1 slot")
         if not 0.0 <= signal_rate < 1.0:
             raise ValueError("signal_rate must be in [0, 1)")
+        if not 0.0 <= forecast_rate < 1.0:
+            raise ValueError("forecast_rate must be in [0, 1)")
         rng = np.random.default_rng(seed)
         events: list[FaultEvent] = []
         repair_at: dict[int, int] = {}  # group -> slot it comes back
@@ -336,6 +385,23 @@ class FaultSchedule:
                 events.append(
                     FaultEvent(
                         t=t, kind="signal", field=field_, mode=mode, duration=duration
+                    )
+                )
+            if forecast_rate > 0.0 and rng.random() < forecast_rate:
+                mode = FORECAST_MODES[int(rng.integers(0, len(FORECAST_MODES)))]
+                duration = int(rng.integers(1, 25))
+                magnitude = (
+                    float(rng.uniform(0.1, 0.6))
+                    if mode in ("bias", "drift")
+                    else None
+                )
+                events.append(
+                    FaultEvent(
+                        t=t,
+                        kind="forecast",
+                        mode=mode,
+                        duration=duration,
+                        magnitude=magnitude,
                     )
                 )
         profile = MessageFaultProfile(loss=loss, delay=delay, duplicate=duplicate, seed=seed)

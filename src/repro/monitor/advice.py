@@ -1,0 +1,179 @@
+"""Watchdog over the learning-augmented advice stream (``advice.*``).
+
+Advice is allowed to be wrong -- that is the premise of the layer -- so
+this monitor does not fail on distrust or fallback.  It fails on broken
+*guarantees*:
+
+* the certified budget: an ``advice.decision`` whose running cost ratio
+  exceeds ``(1 + λ)`` (λ from ``advice.config``) means the
+  :class:`~repro.advice.trust.TrustGuard` committed more than its bound;
+* hysteresis flapping: two trust transitions closer together than the
+  guard's own minimum streak length, which the streak counters make
+  impossible by construction;
+* summary consistency: an ``advice.summary`` whose counters disagree with
+  the decisions streamed before it.
+
+Everything else is narration for the dashboard: trust drops and
+recoveries are surfaced as info/warning alerts so a chaos run's log tells
+the advice story alongside the fault story.
+"""
+
+from __future__ import annotations
+
+from .alerts import AlertChannel
+from .base import HealthMonitor
+
+__all__ = ["AdviceTrustMonitor"]
+
+_RATIO_SLACK = 1e-9
+
+
+class AdviceTrustMonitor(HealthMonitor):
+    """Certifies the (1+λ) bound and the trust hysteresis online."""
+
+    name = "advice-trust"
+    description = "advice cost stays within (1+λ)× shadow; trust never flaps"
+    kinds = (
+        "advice.config",
+        "advice.frame",
+        "advice.decision",
+        "advice.transition",
+        "advice.summary",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lam: float | None = None
+        self.distrust_after = 1
+        self.trust_after = 1
+        self.decisions = 0
+        self.advised = 0
+        self.fallbacks = 0
+        self.frames = 0
+        self.frames_advised = 0
+        self.transitions: list[tuple[int, bool]] = []
+        self.worst_ratio = 0.0
+        self._summary: dict | None = None
+        #: Slot of the first decision seen; nonzero means the stream
+        #: joined a resumed run partway through.
+        self._first_decision_t: int | None = None
+
+    # ------------------------------------------------------------------
+    def observe(self, event: dict, alerts: AlertChannel) -> None:
+        kind = event["kind"]
+        self.checked += 1
+        if kind == "advice.config":
+            self.lam = float(event.get("lam", 0.0))
+            self.distrust_after = int(event.get("distrust_after", 1))
+            self.trust_after = int(event.get("trust_after", 1))
+        elif kind == "advice.frame":
+            self.frames += 1
+            if event.get("has_advice"):
+                self.frames_advised += 1
+        elif kind == "advice.decision":
+            if self._first_decision_t is None:
+                self._first_decision_t = int(event.get("t", 0))
+            self.decisions += 1
+            if event.get("used"):
+                self.advised += 1
+            else:
+                self.fallbacks += 1
+            ratio = float(event.get("cost_ratio", 1.0))
+            self.worst_ratio = max(self.worst_ratio, ratio)
+            if self.lam is not None and ratio > 1.0 + self.lam + _RATIO_SLACK:
+                self.violations += 1
+                alerts.raise_alert(
+                    "critical",
+                    self.name,
+                    f"committed/shadow cost ratio {ratio:.4f} exceeds the "
+                    f"certified bound 1+λ = {1.0 + self.lam:.4f}",
+                    t=event.get("t"),
+                    key=f"{self.name}:bound",
+                )
+        elif kind == "advice.transition":
+            t = int(event.get("t", -1))
+            trusted = bool(event.get("trusted"))
+            if self.transitions:
+                prev_t, prev_state = self.transitions[-1]
+                # Leaving a state requires a full streak inside it, so two
+                # transitions can never be closer than the streak length
+                # of the state being left.
+                min_gap = self.trust_after if trusted else self.distrust_after
+                if trusted == prev_state:
+                    self.violations += 1
+                    alerts.raise_alert(
+                        "critical",
+                        self.name,
+                        f"repeated transition to trusted={trusted} at t={t}",
+                        t=t,
+                        key=f"{self.name}:transition-order",
+                    )
+                elif t - prev_t < min_gap:
+                    self.violations += 1
+                    alerts.raise_alert(
+                        "critical",
+                        self.name,
+                        f"trust flapped: transitions at t={prev_t} and t={t} "
+                        f"are {t - prev_t} slots apart (hysteresis requires "
+                        f">= {min_gap})",
+                        t=t,
+                        key=f"{self.name}:flap",
+                    )
+            self.transitions.append((t, trusted))
+            alerts.raise_alert(
+                "info" if trusted else "warning",
+                self.name,
+                f"advice {'re-trusted' if trusted else 'distrusted'} at t={t}",
+                t=t,
+                key=f"{self.name}:transition",
+            )
+        elif kind == "advice.summary":
+            self._summary = event
+
+    def finalize(self, alerts: AlertChannel) -> None:
+        summary = self._summary
+        if summary is None:
+            return
+        reported = int(summary.get("advised_slots", -1)) + int(
+            summary.get("fallback_slots", -1)
+        )
+        # The guard's totals cover the whole run; a stream that joined a
+        # resumed run at slot k>0 has only seen the tail, so the totals
+        # may exceed its decision count by up to k (the pre-resume slots).
+        first_t = self._first_decision_t or 0
+        if not self.decisions <= reported <= self.decisions + first_t:
+            self.violations += 1
+            alerts.raise_alert(
+                "critical",
+                self.name,
+                f"advice.summary accounts for {reported} slot(s) but the "
+                f"stream carried {self.decisions} decisions"
+                + (f" from t={first_t}" if first_t else ""),
+                key=f"{self.name}:summary-mismatch",
+            )
+        ratio = float(summary.get("cost_ratio", 1.0))
+        lam = float(summary.get("lam", self.lam or 0.0))
+        if ratio > 1.0 + lam + _RATIO_SLACK:
+            self.violations += 1
+            alerts.raise_alert(
+                "critical",
+                self.name,
+                f"final cost ratio {ratio:.4f} exceeds 1+λ = {1.0 + lam:.4f}",
+                key=f"{self.name}:final-bound",
+            )
+
+    # ------------------------------------------------------------------
+    def detail(self) -> str:
+        if self.checked == 0:
+            return "no advice events (plain run)"
+        if self.decisions == 0:
+            return f"{self.frames} advice frame(s), no gated decisions"
+        parts = [
+            f"{self.advised}/{self.decisions} slots advised",
+            f"{self.frames_advised}/{self.frames} frames with advice",
+            f"worst ratio {self.worst_ratio:.4f}"
+            + (f" (bound {1.0 + self.lam:.2f})" if self.lam is not None else ""),
+        ]
+        if self.transitions:
+            parts.append(f"{len(self.transitions)} trust transition(s)")
+        return ", ".join(parts)

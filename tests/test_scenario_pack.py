@@ -1,0 +1,148 @@
+"""The named advice scenario pack and its CLI (``repro scenarios``).
+
+Each scenario is a reproducible storyline with a pinned verdict:
+``advice-good`` stays trusted, ``advice-adversarial`` falls back,
+``advice-degrading`` falls back and recovers -- and on all three the
+certified bound (advised cost ≤ (1+λ)× plain COCA) holds, with the
+default monitor suite (including ``advice-trust``) passing on the
+advised run's live stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.advice import SCENARIOS, list_scenarios, run_scenario
+from repro.advice.pack import PACK_HORIZON, neutral_v
+from repro.cli import main
+from repro.scenarios import small_scenario
+
+HORIZON = 24 * 5
+
+
+@pytest.fixture(scope="module")
+def pack_scenario():
+    return small_scenario(horizon=HORIZON)
+
+
+@pytest.fixture(scope="module")
+def pack_v(pack_scenario):
+    return neutral_v(pack_scenario)
+
+
+@pytest.fixture(scope="module")
+def results(pack_scenario, pack_v):
+    """All three scenarios, run once on a shared calibrated V."""
+    return {
+        name: run_scenario(name, scenario=pack_scenario, v=pack_v)
+        for name in SCENARIOS
+    }
+
+
+class TestScenarioPack:
+    def test_registry(self):
+        names = [name for name, _ in list_scenarios()]
+        assert names == [
+            "advice-good", "advice-degrading", "advice-adversarial"
+        ]
+        assert all(desc for _, desc in list_scenarios())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_scenario("advice-nope")
+
+    def test_horizon_must_fit_frames(self):
+        with pytest.raises(ValueError, match="multiple"):
+            run_scenario("advice-good", scenario=small_scenario(horizon=30))
+
+    def test_default_horizon_is_a_week(self):
+        assert PACK_HORIZON == 24 * 7
+
+    def test_bound_holds_on_every_scenario(self, results):
+        for name, result in results.items():
+            assert result.bound_holds, (
+                f"{name}: ratio {result.cost_ratio:.4f} > {result.bound}"
+            )
+
+    def test_good_scenario_stays_trusted(self, results):
+        guard = results["advice-good"].guard
+        assert guard["trusted"]
+        assert guard["transitions"] == []
+        assert guard["advised_slots"] == HORIZON
+
+    def test_adversarial_scenario_falls_back(self, results):
+        guard = results["advice-adversarial"].guard
+        assert not guard["trusted"]
+        assert len(guard["transitions"]) == 1
+        assert guard["fallback_slots"] > guard["advised_slots"]
+        # The committed run must not have silently been plain COCA: frame 0
+        # ran on clean forecasts, so some slots were genuinely advised.
+        assert guard["advised_slots"] > 0
+        assert not results["advice-adversarial"].bit_identical
+
+    def test_degrading_scenario_falls_back(self, results):
+        guard = results["advice-degrading"].guard
+        transitions = guard["transitions"]
+        assert len(transitions) >= 1
+        assert transitions[0][1] is False
+
+    def test_degrading_scenario_recovers_over_a_week(self, week_scenario):
+        # Recovery needs clean slots after the drift window ends, which the
+        # pack's default week horizon provides (the 120-slot fixture does
+        # not -- its faults stretch to t=105).
+        result = run_scenario("advice-degrading", scenario=week_scenario)
+        states = [up for _, up in result.guard["transitions"]]
+        assert states[:2] == [False, True]
+        assert result.bound_holds
+
+    def test_monitor_suite_passes_adversarial(self, pack_scenario, pack_v):
+        from repro.monitor import default_suite, monitored_telemetry
+
+        telemetry, suite = monitored_telemetry(default_suite())
+        run_scenario(
+            "advice-adversarial",
+            scenario=pack_scenario,
+            v=pack_v,
+            telemetry=telemetry,
+        )
+        suite.finalize()
+        failed = [r.monitor for r in suite.reports() if not r.passed]
+        assert failed == []
+
+
+class TestScenariosCli:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_run_strict_json(self, capsys):
+        code = main(
+            ["scenarios", "run", "advice-adversarial",
+             "--horizon", "48", "--strict", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "advice-adversarial"
+        assert payload["bound_holds"] is True
+        assert payload["monitors"]["failed"] == []
+
+    def test_run_unknown_name_exits_bad_input(self, capsys):
+        assert main(["scenarios", "run", "advice-nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_run_bad_horizon_exits_bad_input(self, capsys):
+        assert main(["scenarios", "run", "advice-good", "--horizon", "30"]) == 1
+
+    def test_run_writes_trace(self, tmp_path, capsys):
+        trace = tmp_path / "advice.jsonl"
+        code = main(
+            ["scenarios", "run", "advice-good",
+             "--horizon", "48", "--trace-out", str(trace)]
+        )
+        assert code == 0
+        kinds = {json.loads(line)["kind"] for line in trace.read_text().splitlines()}
+        assert "advice.decision" in kinds and "advice.frame" in kinds

@@ -457,3 +457,103 @@ class TestServeCli:
         assert record_mismatches(
             load_record(str(batch_out)), load_record(str(serve_out))
         ) == []
+
+
+# ------------------------------------------------------------ forecast feed
+class TestForecastPayloads:
+    """Feeds carry optional advice windows on frame-boundary slots; the
+    payload rides the same JSONL line format and is never required."""
+
+    def test_frames_attach_windows_on_boundaries_only(self, scenario):
+        frames = list(
+            frames_from_environment(scenario.environment, advice_frame=24)
+        )
+        for frame in frames:
+            if frame.slot % 24 == 0:
+                assert frame.forecast is not None
+                assert frame.forecast["start"] == frame.slot
+                assert len(frame.forecast["arrival"]) == 24
+            else:
+                assert frame.forecast is None
+
+    def test_forecast_round_trips_through_feed_file(self, scenario, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        write_feed(scenario.environment, path, advice_frame=24)
+        source = FileTailSignalSource(path)
+        frames = []
+        while (frame := source.poll()) is not None:
+            frames.append(frame)
+        source.close()
+        assert frames == list(
+            frames_from_environment(scenario.environment, advice_frame=24)
+        )
+
+    def test_payload_free_feed_leaves_advised_serve_bit_identical(
+        self, scenario
+    ):
+        """No payloads ever arrive -> the feed-backed advisor never has a
+        window -> every slot falls back -> bit-identical to plain COCA."""
+        from repro.advice import (
+            AdvisedController,
+            FeedForecastProvider,
+            ForecastAdvisor,
+        )
+
+        batch = _batch_record(scenario)
+        environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        advisor = ForecastAdvisor(
+            scenario.model,
+            scenario.environment.portfolio,
+            frame_length=24,
+            horizon=scenario.horizon,
+            provider=FeedForecastProvider(),
+            alpha=scenario.alpha,
+        )
+        controller = AdvisedController(_controller(scenario), advisor=advisor)
+        runner = SlotRunner(scenario.model, controller, environment)
+        # Replay source with no advice_frame: frames carry no payloads.
+        resolver = StalenessResolver(ReplaySignalSource(scenario.environment))
+        runner.start()
+        result = ControlService(runner, resolver).run()
+        assert result.status == "completed"
+        # Only the recorded controller label differs ("COCA+advice"); every
+        # numeric trajectory is bit-identical to the plain batch run.
+        assert record_mismatches(batch, result.record) == ["controller"]
+        for name in ("cost", "brown_energy", "queue", "served"):
+            assert list(getattr(result.record, name)) == list(
+                getattr(batch, name)
+            )
+        assert controller.guard.advised_slots == 0
+        assert controller.guard.fallback_slots == scenario.horizon
+
+    def test_advised_replay_serve_consumes_feed_windows(self, scenario):
+        """Payload-bearing frames reach the feed provider through the
+        service's ingest hook; every boundary window is consumed fresh."""
+        from repro.advice import (
+            AdvisedController,
+            FeedForecastProvider,
+            ForecastAdvisor,
+        )
+
+        environment = LiveEnvironment(scenario.horizon, base=scenario.environment)
+        provider = FeedForecastProvider()
+        advisor = ForecastAdvisor(
+            scenario.model,
+            scenario.environment.portfolio,
+            frame_length=24,
+            horizon=scenario.horizon,
+            provider=provider,
+            alpha=scenario.alpha,
+        )
+        controller = AdvisedController(_controller(scenario), advisor=advisor)
+        runner = SlotRunner(scenario.model, controller, environment)
+        resolver = StalenessResolver(
+            ReplaySignalSource(scenario.environment, advice_frame=24)
+        )
+        runner.start()
+        result = ControlService(runner, resolver).run()
+        assert result.status == "completed"
+        assert provider.ingested == scenario.horizon // 24
+        assert provider.stale_rejected == 0
+        total = controller.guard.advised_slots + controller.guard.fallback_slots
+        assert total == scenario.horizon
